@@ -1,0 +1,881 @@
+(* Benchmark & reproduction harness.
+
+   One section per experiment of DESIGN.md §4 (E1–E19): the paper's only
+   table (Example 2) and only figure (the §5.2 commutative diagram) are
+   reproduced exactly; every theorem-level claim gets a validation +
+   scaling section whose rows are recorded in EXPERIMENTS.md.  A final
+   section runs bechamel micro-benchmarks of the library's kernels.
+
+   Run with:  dune exec bench/main.exe            (full, a few minutes)
+              dune exec bench/main.exe -- quick   (skips the slowest rows) *)
+
+let quick =
+  Array.length Sys.argv > 1 && Sys.argv.(1) = "quick"
+
+let section id title =
+  Printf.printf "\n%s\n=== %-3s %s\n%s\n" (String.make 78 '=') id title
+    (String.make 78 '=')
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let row fmt = Printf.printf fmt
+
+let check label ok =
+  Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") label;
+  if not ok then exit 1
+
+let shap_equal a b =
+  List.for_all2
+    (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+    (List.sort compare a) (List.sort compare b)
+
+let rec random_formula st ~nvars ~depth =
+  if depth <= 0 then Formula.var (1 + Random.State.int st nvars)
+  else begin
+    match Random.State.int st 8 with
+    | 0 | 1 -> Formula.var (1 + Random.State.int st nvars)
+    | 2 -> Formula.not_ (random_formula st ~nvars ~depth:(depth - 1))
+    | 3 | 4 ->
+      Formula.conj2
+        (random_formula st ~nvars ~depth:(depth - 1))
+        (random_formula st ~nvars ~depth:(depth - 1))
+    | _ ->
+      Formula.disj2
+        (random_formula st ~nvars ~depth:(depth - 1))
+        (random_formula st ~nvars ~depth:(depth - 1))
+  end
+
+(* A random formula guaranteed to mention all of 1..nvars. *)
+let random_full_formula st ~nvars ~depth =
+  let rec retry k =
+    let f = random_formula st ~nvars ~depth in
+    if Vset.cardinal (Formula.vars f) = nvars then f
+    else if k > 200 then
+      (* pad: conjoin a tautology on the missing variables *)
+      Formula.and_
+        (f
+         :: List.filter_map
+           (fun v ->
+              if Vset.mem v (Formula.vars f) then None
+              else
+                Some (Formula.disj2 (Formula.var v)
+                        (Formula.not_ (Formula.var v))))
+           (List.init nvars succ))
+    else retry (k + 1)
+  in
+  retry 0
+
+(* ------------------------------------------------------------------ *)
+(* E1: the Example 2 table *)
+
+let e1 () =
+  section "E1" "Example 2 table: permutation marginals and Shapley values";
+  let f = Parser.formula_of_string_exn "x1 & (x2 | !x3)" in
+  let vars = [ 1; 2; 3 ] in
+  row "  F = %s\n\n" (Formula.to_string f);
+  row "  %-12s %4s %4s %4s\n" "permutation" "i=1" "i=2" "i=3";
+  List.iter
+    (fun (pi, cols) ->
+       row "  (%s)    %4d %4d %4d\n"
+         (String.concat ", " (List.map string_of_int pi))
+         (List.nth cols 0) (List.nth cols 1) (List.nth cols 2))
+    (Naive.permutation_table ~vars f);
+  let shap = Naive.shap_permutations ~vars f in
+  row "\n  Shapley values: %s\n"
+    (String.concat ", "
+       (List.map (fun (i, v) -> Printf.sprintf "x%d = %s" i (Rat.to_string v)) shap));
+  check "matches the paper: (5/6, 2/6, -1/6)"
+    (shap_equal shap
+       [ (1, Rat.of_ints 5 6); (2, Rat.of_ints 2 6); (3, Rat.of_ints (-1) 6) ]);
+  check "Example 4: same values via Eq. (2)"
+    (shap_equal shap (Naive.shap_subsets ~vars f));
+  check "Example 6 / Prop. 5: values sum to F(1) - F(0) = 1"
+    (Rat.equal (Naive.shap_sum shap) Rat.one)
+
+(* ------------------------------------------------------------------ *)
+(* E2: the commutative diagram of §5.2 *)
+
+let e2 () =
+  section "E2" "Commutative diagram: stretching = OR-substitution at lineage level";
+  let trials = if quick then 10 else 40 in
+  let ok = ref 0 in
+  let st = Random.State.make [| 42 |] in
+  for seed = 1 to trials do
+    let a = 1 + Random.State.int st 3 and b = 1 + Random.State.int st 3 in
+    let inst = Bipartite.random ~a ~b ~density:0.6 ~seed in
+    let db, q = Hardness.encode inst in
+    let widths v = (v + seed) mod 3 in
+    let is_endo r = Database.kind_of db r = Database.Endogenous in
+    let qt, _ = Stretch.stretch_query ~is_endogenous:is_endo q in
+    let dbt, blocks = Stretch.or_substituted_db ~widths db in
+    let f_sub =
+      Subst.apply
+        (fun v ->
+           match List.assoc_opt v blocks with
+           | Some zs -> Formula.or_ (List.map Formula.var zs)
+           | None -> Formula.var v)
+        (Lineage.lineage_formula db q)
+    in
+    if Semantics.equivalent f_sub (Lineage.lineage_formula dbt qt) then incr ok
+  done;
+  row "  random Q0 databases checked: %d, diagram commuted on: %d\n" trials !ok;
+  check "diagram commutes on every instance" (!ok = trials);
+  (* Lemma 12 round trip through Claim 5.2's collapse *)
+  let db, q = Hardness.encode (Bipartite.make ~a:2 ~b:2 [ (0, 0); (1, 1); (0, 1) ]) in
+  let db', blocks = Stretch.or_substituted_q0_db ~widths:(fun v -> 1 + (v mod 2)) db in
+  let f_sub =
+    Subst.apply
+      (fun v ->
+         match List.assoc_opt v blocks with
+         | Some zs -> Formula.or_ (List.map Formula.var zs)
+         | None -> Formula.var v)
+      (Lineage.lineage_formula db q)
+  in
+  check "Claim 5.2: OR-substituted lineage realized inside C_Q0"
+    (Semantics.equivalent f_sub (Lineage.lineage_formula db' q))
+
+(* ------------------------------------------------------------------ *)
+(* E3: Lemma 3.2 — Shapley from fixed-size counts *)
+
+let e3 () =
+  section "E3" "Lemma 3.2: Shap from a #_* oracle (agreement + oracle calls)";
+  let st = Random.State.make [| 7 |] in
+  row "  %-4s %-10s %-14s %-10s\n" "n" "#oracle" "agree" "time(s)";
+  List.iter
+    (fun n ->
+       let f = random_full_formula st ~nvars:n ~depth:(n - 1) in
+       let vars = List.init n succ in
+       let calls = ref 0 in
+       let oracle =
+         Pipeline.{
+           oracle_name = "dpll-counting";
+           count =
+             (fun ~vars f ->
+                incr calls;
+                Dpll.count_universe ~vars f);
+         }
+       in
+       let via, t =
+         time (fun () -> Pipeline.shap_via_count_oracle ~oracle ~vars f)
+       in
+       let reference = Naive.shap_subsets ~vars f in
+       row "  %-4d %-10d %-14b %-10.4f\n" n !calls (shap_equal via reference) t;
+       if not (shap_equal via reference) then exit 1)
+    [ 2; 3; 4; 5; 6 ];
+  row "  (oracle calls grow as (n+1)^2 + ... — polynomial, per Theorem 3.1)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E4: Lemma 3.3 / Claim 3.5 + solver ablation *)
+
+let e4 () =
+  section "E4" "Lemma 3.3: #_* from a # oracle via the 2^l-1 Vandermonde system";
+  let st = Random.State.make [| 11 |] in
+  row "  %-4s %-8s %-12s %-12s %-12s\n" "n" "agree" "claim3.5" "interp(s)"
+    "gauss(s)";
+  List.iter
+    (fun n ->
+       let f = random_full_formula st ~nvars:n ~depth:n in
+       let vars = List.init n succ in
+       let kv_ref = Brute.count_by_size ~vars f in
+       let kv =
+         Pipeline.kcounts_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
+           ~vars f
+       in
+       (* Claim 3.5 at l = 2 directly *)
+       let universe = Vset.of_list vars in
+       let g, blocks = Subst.uniform_or ~universe ~l:2 f in
+       let lhs = Dpll.count_universe ~vars:(List.concat_map snd blocks) g in
+       let claim35 =
+         Bigint.equal lhs (Kvec.weighted_sum kv_ref (Bigint.two_pow_minus_one 2))
+       in
+       (* ablation: interpolation vs Gaussian elimination on the system *)
+       let points = Reductions.or_points ~count:(n + 1) in
+       let values =
+         Array.init (n + 1) (fun i ->
+             Rat.of_bigint
+               (Kvec.weighted_sum kv_ref
+                  (Bigint.two_pow_minus_one (i + 1))))
+       in
+       let _, t_interp =
+         time (fun () -> Linalg.vandermonde_solve ~points ~values)
+       in
+       let matrix = Linalg.vandermonde_matrix points ~cols:(n + 1) in
+       let _, t_gauss = time (fun () -> Linalg.gauss_solve matrix values) in
+       row "  %-4d %-8b %-12b %-12.5f %-12.5f\n" n (Kvec.equal kv kv_ref)
+         claim35 t_interp t_gauss;
+       if not (Kvec.equal kv kv_ref && claim35) then exit 1)
+    (if quick then [ 3; 5; 7 ] else [ 3; 5; 7; 9; 11; 13 ]);
+  row "  (Newton interpolation solves the Vandermonde system in O(n^2) exact\n";
+  row "   ops; Gaussian elimination is the O(n^3) ablation baseline)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5: Lemma 3.4 — counts from a Shapley oracle *)
+
+let e5 () =
+  section "E5" "Lemma 3.4 (repaired): # from a Shap oracle, n^2 calls";
+  let st = Random.State.make [| 13 |] in
+  row "  %-4s %-10s %-8s %-10s\n" "n" "#oracle" "agree" "time(s)";
+  List.iter
+    (fun n ->
+       let f = random_full_formula st ~nvars:n ~depth:n in
+       let vars = List.init n succ in
+       let calls = ref 0 in
+       let oracle =
+         Pipeline.{
+           shap_name = "circuit-shapley";
+           shap =
+             (fun ~vars f ->
+                incr calls;
+                Circuit_shapley.shap_direct ~vars (Compile.compile f));
+         }
+       in
+       let via, t =
+         time (fun () -> Pipeline.count_via_shap_oracle ~oracle ~vars f)
+       in
+       let reference = Brute.count ~vars f in
+       row "  %-4d %-10d %-8b %-10.4f\n" n !calls (Bigint.equal via reference) t;
+       if not (Bigint.equal via reference) then exit 1)
+    [ 2; 3; 4; 5 ];
+  row "  (weights use the repaired Lemma 3.4 system; see DESIGN.md section 2a)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E6: Corollary 7 round trip *)
+
+let e6 () =
+  section "E6" "Corollary 7: # -> Shap -> # round trip on OR-closed classes";
+  let st = Random.State.make [| 17 |] in
+  let trials = if quick then 5 else 12 in
+  let ok = ref 0 in
+  let _, t =
+    time (fun () ->
+        for _ = 1 to trials do
+          let n = 2 + Random.State.int st 2 in
+          let f = random_full_formula st ~nvars:n ~depth:3 in
+          let vars = List.init n succ in
+          if Bigint.equal
+              (Pipeline.roundtrip_count ~vars f)
+              (Brute.count ~vars f)
+          then incr ok
+        done)
+  in
+  row "  random functions: %d, round trips correct: %d (%.2fs total)\n" trials
+    !ok t;
+  check "every round trip exact" (!ok = trials)
+
+(* ------------------------------------------------------------------ *)
+(* E7: Lemma 9 — OR-substitution cost on circuits *)
+
+let e7 () =
+  section "E7" "Lemma 9: circuit OR-substitution is O(|G| + k*l)";
+  (* a chain formula compiled to a mid-sized circuit *)
+  let n = 12 in
+  let f =
+    Formula.and_
+      (List.init (n - 1) (fun i ->
+           Formula.disj2
+             (Formula.not_ (Formula.var (i + 1)))
+             (Formula.var (i + 2))))
+  in
+  let g = Compile.compile f in
+  row "  base circuit: %d gates, %d variables\n" (Circuit.size g) n;
+  row "  %-6s %-10s %-12s %-12s %-10s\n" "l" "gates" "delta/l" "time(s)"
+    "count-ok";
+  let base = Circuit.size g in
+  List.iter
+    (fun l ->
+       let (g', _), t = time (fun () -> Or_subst.uniform_or ~l g) in
+       (* Cross-check the substituted circuit's count against DPLL on its
+          unfolded formula (the exhaustive determinism check is infeasible
+          beyond ~14-variable gate scopes; l=1 is covered by the tests). *)
+       let count_ok =
+         if l <= 4 then
+           Printf.sprintf "%b"
+             (Bigint.equal (Count.count_circuit g')
+                (Dpll.count (Circuit.to_formula g')))
+         else "-"
+       in
+       row "  %-6d %-10d %-12.1f %-12.5f %-10s\n" l (Circuit.size g')
+         (float_of_int (Circuit.size g' - base) /. float_of_int l)
+         t count_ok)
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  row "  (delta/l stabilizes: growth is linear in l, as Lemma 9 states)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E8: Theorem 4.1 — polynomial Shapley on circuits vs the definition *)
+
+let e8 () =
+  section "E8" "Theorem 4.1: Shapley on d-D circuits, polynomial vs exponential";
+  row "  %-4s %-8s %-14s %-14s %-14s\n" "n" "gates" "subsets-2^n(s)"
+    "circuit(s)" "via-reduction(s)";
+  let sizes = if quick then [ 6; 8; 10; 12 ] else [ 6; 8; 10; 12; 14; 16; 18 ] in
+  List.iter
+    (fun n ->
+       (* read-once-ish chain: compiles small, so the contrast is honest *)
+       let f =
+         Formula.and_
+           (List.init (n / 2) (fun i ->
+                Formula.disj2
+                  (Formula.var ((2 * i) + 1))
+                  (Formula.var ((2 * i) + 2))))
+       in
+       let vars = List.init n succ in
+       let c = Compile.compile f in
+       let naive_t =
+         if n <= 14 then begin
+           let _, t = time (fun () -> Naive.shap_subsets ~vars f) in
+           Printf.sprintf "%.4f" t
+         end
+         else "(skipped)"
+       in
+       let shap_c, t_c = time (fun () -> Circuit_shapley.shap_direct ~vars c) in
+       let t_r =
+         if n <= 12 then begin
+           let _, t = time (fun () -> Circuit_shapley.shap_via_reduction ~vars c) in
+           Printf.sprintf "%.4f" t
+         end
+         else "(skipped)"
+       in
+       ignore shap_c;
+       row "  %-4d %-8d %-14s %-14.4f %-14s\n" n (Circuit.size c) naive_t t_c t_r)
+    sizes;
+  (* correctness spot check *)
+  let f = Parser.formula_of_string_exn "x1 & x2 | !x1 & x3 | x4" in
+  let vars = [ 1; 2; 3; 4 ] in
+  let c = Compile.compile f in
+  check "circuit results match the definition"
+    (shap_equal (Naive.shap_subsets ~vars f) (Circuit_shapley.shap_direct ~vars c));
+  check "reduction route matches direct route"
+    (shap_equal
+       (Circuit_shapley.shap_direct ~vars c)
+       (Circuit_shapley.shap_via_reduction ~vars c))
+
+(* ------------------------------------------------------------------ *)
+(* E9: Theorem 5.1 tractable side — hierarchical scaling *)
+
+let e9 () =
+  section "E9" "Theorem 5.1 (tractable): hierarchical queries scale polynomially";
+  let q = Db_parser.parse_query "R(x), S(x, y)" in
+  row "  query: %s\n" (Cq.to_string q);
+  row "  %-8s %-8s %-10s %-14s %-14s\n" "tuples" "vars" "gates" "safe-plan(s)"
+    "brute(s)";
+  let sizes = if quick then [ 8; 16; 24 ] else [ 8; 16; 24; 32; 48; 64 ] in
+  List.iter
+    (fun size ->
+       let st = Random.State.make [| size |] in
+       let db = Database.create () in
+       Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+       Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+       let xs = size / 4 in
+       for i = 1 to xs do
+         ignore (Database.insert db "R" [| Value.int i |])
+       done;
+       let inserted = ref 0 in
+       while !inserted < size - xs do
+         let i = 1 + Random.State.int st xs in
+         let j = 1 + Random.State.int st size in
+         if not (Database.mem db "S" [| Value.int i; Value.int j |]) then begin
+           ignore (Database.insert db "S" [| Value.int i; Value.int j |]);
+           incr inserted
+         end
+       done;
+       let nvars = Vset.cardinal (Database.lineage_vars db) in
+       let c = Safe_plan.lineage_circuit db q in
+       let _, t_safe = time (fun () -> Safe_plan.shapley db q) in
+       let brute_t =
+         if nvars <= 20 then begin
+           let reference, t = time (fun () -> Dichotomy.shapley_brute db q) in
+           let got = Safe_plan.shapley db q in
+           if not (shap_equal reference got) then exit 1;
+           Printf.sprintf "%.4f" t
+         end
+         else "(skipped)"
+       in
+       row "  %-8d %-8d %-10d %-14.4f %-14s\n" size nvars (Circuit.size c)
+         t_safe brute_t)
+    sizes;
+  row "  (safe-plan time grows polynomially with the database;\n";
+  row "   the 2^n reference explodes past ~20 tuples)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E10: Theorem 5.1 hard side — bipartite DNF through the Shapley oracle *)
+
+let e10 () =
+  section "E10" "Theorem 5.1 (hard): #bipartite-DNF via a Q0 Shapley oracle";
+  row "  %-10s %-8s %-12s %-10s %-12s\n" "a+b" "edges" "#F" "calls" "time(s)";
+  let insts =
+    if quick then [ (2, 2, 3) ] else [ (2, 2, 3); (2, 3, 4); (3, 3, 5) ]
+  in
+  List.iter
+    (fun (a, b, seed) ->
+       let inst = Bipartite.random ~a ~b ~density:0.6 ~seed in
+       let direct = Bipartite.count inst in
+       let via, t =
+         time (fun () ->
+             Hardness.count_via_q0_shapley ~oracle:Hardness.reference_oracle
+               inst)
+       in
+       row "  %-10s %-8d %-12s %-10d %-12.3f\n"
+         (Printf.sprintf "%d+%d" a b)
+         (List.length inst.Bipartite.edges)
+         (Bigint.to_string direct)
+         (Hardness.oracle_calls inst) t;
+       if not (Bigint.equal via direct) then exit 1)
+    insts;
+  check "oracle-derived counts exact on all instances" true;
+  (* the baseline counter is exponential in the left part *)
+  row "\n  baseline #bipartite-DNF counter (exponential in min side):\n";
+  row "  %-6s %-12s %-12s\n" "a=b" "edges" "time(s)";
+  List.iter
+    (fun a ->
+       let inst = Bipartite.random ~a ~b:a ~density:0.3 ~seed:a in
+       let _, t = time (fun () -> Bipartite.count inst) in
+       row "  %-6d %-12d %-12.4f\n" a (List.length inst.Bipartite.edges) t)
+    (if quick then [ 8; 12; 16 ] else [ 8; 12; 16; 18; 20 ])
+
+(* ------------------------------------------------------------------ *)
+(* E11: Claim 3.7 — AND-substitutions *)
+
+let e11 () =
+  section "E11" "Claim 3.7: the AND-substitution variant";
+  let st = Random.State.make [| 23 |] in
+  row "  %-4s %-8s\n" "n" "agree";
+  List.iter
+    (fun n ->
+       let f = random_full_formula st ~nvars:n ~depth:n in
+       let vars = List.init n succ in
+       let universe = Vset.of_list vars in
+       let kv =
+         Reductions.kcounts_via_counting_and ~n ~count_subst:(fun ~l ->
+             let g, blocks = Subst.uniform_and ~universe ~l f in
+             Dpll.count_universe ~vars:(List.concat_map snd blocks) g)
+       in
+       let ok = Kvec.equal kv (Brute.count_by_size ~vars f) in
+       row "  %-4d %-8b\n" n ok;
+       if not ok then exit 1)
+    [ 2; 3; 4; 5; 6 ];
+  check "AND-substituted reduction recovers #_* exactly" true
+
+(* ------------------------------------------------------------------ *)
+(* E12: the identity gallery *)
+
+let e12 () =
+  section "E12" "Identities: Prop. 3, Prop. 5, Claims 3.5/3.6/3.7, Eq. (7)/(8)";
+  let st = Random.State.make [| 29 |] in
+  let trials = if quick then 15 else 50 in
+  let counters = Hashtbl.create 8 in
+  let bump k ok =
+    let p, t = Option.value ~default:(0, 0) (Hashtbl.find_opt counters k) in
+    Hashtbl.replace counters k ((p + if ok then 1 else 0), t + 1)
+  in
+  for _ = 1 to trials do
+    let n = 2 + Random.State.int st 3 in
+    let f = random_full_formula st ~nvars:n ~depth:3 in
+    let vars = List.init n succ in
+    bump "Prop. 3 (Eq.1 = Eq.2)" (Identities.prop3 ~vars f);
+    bump "Prop. 5 (efficiency)" (Identities.prop5 ~vars f);
+    bump "Claim 3.5 (l=2)" (Identities.claim35 ~l:2 ~vars f);
+    bump "Claim 3.6" (Identities.claim36 ~vars f);
+    bump "Claim 3.7 (l=2)" (Identities.claim37 ~l:2 ~vars f);
+    bump "Eq. (7)" (Identities.eq7 ~vars f);
+    bump "Eq. (8)" (Identities.eq8 ~vars f)
+  done;
+  Hashtbl.iter
+    (fun k (p, t) ->
+       row "  %-26s %d/%d\n" k p t;
+       if p <> t then exit 1)
+    counters;
+  (* the Lemma 3.4 repair, pinned *)
+  let f = Parser.formula_of_string_exn "x1 & x2" in
+  let universe = Vset.of_list [ 1; 2 ] in
+  let g, z, blocks = Subst.uniform_or_except ~universe ~l:2 ~keep:1 f in
+  let gvars = List.concat_map snd blocks in
+  let truth = List.assoc z (Naive.shap_subsets ~vars:gvars g) in
+  row "  Lemma 3.4 witness: Shap(F^(2,1), Z_1) = %s " (Rat.to_string truth);
+  row "(paper's displayed formula gives 3/2; repaired weight gives %s)\n"
+    (Rat.to_string (Reductions.lemma34_weight ~n:2 ~l:2 ~j:1));
+  check "repaired Lemma 3.4 weight matches the true Shapley value"
+    (Rat.equal truth (Reductions.lemma34_weight ~n:2 ~l:2 ~j:1))
+
+(* ------------------------------------------------------------------ *)
+(* E13: tractable counting classes feed the pipeline *)
+
+let e13 () =
+  section "E13" "DPLL with decomposition: read-once classes stay polynomial";
+  row "  %-6s %-10s %-14s %-16s\n" "vars" "branches" "dpll-count(s)"
+    "shap-pipeline(s)";
+  let sizes = if quick then [ 10; 20 ] else [ 10; 20; 30; 40 ] in
+  List.iter
+    (fun half ->
+       (* (x1|x2) & (x3|x4) & ... — read-once, beta-acyclic CNF *)
+       let f =
+         Formula.and_
+           (List.init half (fun i ->
+                Formula.disj2
+                  (Formula.var ((2 * i) + 1))
+                  (Formula.var ((2 * i) + 2))))
+       in
+       let n = 2 * half in
+       let vars = List.init n succ in
+       let (_, stats), t_count = time (fun () -> Dpll.count_with_stats f) in
+       let t_shap =
+         if half <= 20 then begin
+           let _, t =
+             time (fun () ->
+                 Circuit_shapley.shap_direct ~vars (Compile.compile f))
+           in
+           Printf.sprintf "%.4f" t
+         end
+         else "(skipped)"
+       in
+       row "  %-6d %-10d %-14.4f %-16s\n" n stats.Dpll.branches t_count t_shap)
+    sizes;
+  row "  (component decomposition keeps branch counts linear — this is the\n";
+  row "   mechanism behind the beta-acyclic tractability remark in Sec. 3)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14: the prior-work PQE route vs this paper's counting route, and the
+   related-work score gallery (SHAP score, Banzhaf) *)
+
+let e14 () =
+  section "E14" "Routes & scores: PQE route [13] vs counting route; SHAP/Banzhaf";
+  let st = Random.State.make [| 37 |] in
+  row "  %-4s %-12s %-14s %-8s\n" "n" "via-PQE(s)" "via-count(s)" "agree";
+  List.iter
+    (fun n ->
+       let f = random_full_formula st ~nvars:n ~depth:n in
+       let vars = List.init n succ in
+       let a, t_pqe =
+         time (fun () ->
+             Pipeline.shap_via_pqe_oracle ~oracle:Pipeline.pqe_circuit_oracle
+               ~vars f)
+       in
+       let b, t_cnt =
+         time (fun () ->
+             Pipeline.shap_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
+               ~vars f)
+       in
+       row "  %-4d %-12.4f %-14.4f %-8b\n" n t_pqe t_cnt (shap_equal a b);
+       if not (shap_equal a b) then exit 1)
+    [ 3; 4; 5; 6; 7 ];
+  (* the score gallery on Example 2 *)
+  let f = Parser.formula_of_string_exn "x1 & (x2 | !x3)" in
+  let vars = [ 1; 2; 3 ] in
+  let c = Compile.compile f in
+  let fmt_shap l =
+    String.concat "  "
+      (List.map (fun (i, v) -> Printf.sprintf "x%d=%s" i (Rat.to_string v)) l)
+  in
+  row "\n  score gallery on F = x1 & (x2 | !x3):\n";
+  row "  %-26s %s\n" "Shapley (the paper):"
+    (fmt_shap (Circuit_shapley.shap_direct ~vars c));
+  row "  %-26s %s\n" "Banzhaf:"
+    (fmt_shap (Power_indices.banzhaf_circuit ~vars c));
+  row "  %-26s %s\n" "SHAP score (e=1, p=1/2):"
+    (fmt_shap
+       (Prob.shap_score ~weights:Prob.uniform_half ~entity:(fun _ -> true)
+          ~vars c));
+  row "  %-26s %s\n" "SHAP score (e=1, p=0):"
+    (fmt_shap
+       (Prob.shap_score ~weights:(fun _ -> Rat.zero) ~entity:(fun _ -> true)
+          ~vars c));
+  check "SHAP(e=1, p=0) coincides with the Shapley value"
+    (shap_equal
+       (Circuit_shapley.shap_direct ~vars c)
+       (Prob.shap_score ~weights:(fun _ -> Rat.zero) ~entity:(fun _ -> true)
+          ~vars c));
+  check "SHAP(e=1, p=1/2) differs (the paper's caveat)"
+    (not
+       (shap_equal
+          (Circuit_shapley.shap_direct ~vars c)
+          (Prob.shap_score ~weights:Prob.uniform_half
+             ~entity:(fun _ -> true) ~vars c)))
+
+(* ------------------------------------------------------------------ *)
+(* E15: Monte-Carlo approximation convergence *)
+
+let e15 () =
+  section "E15" "FPRAS-style approximation: permutation sampling convergence";
+  let f = Parser.formula_of_string_exn "x1 & (x2 | !x3)" in
+  let vars = [ 1; 2; 3 ] in
+  let exact = Naive.shap_subsets ~vars f in
+  row "  exact: %s\n" (String.concat "  "
+    (List.map (fun (i, v) -> Printf.sprintf "x%d=%s" i (Rat.to_string v)) exact));
+  row "  %-10s %-12s %-12s %-10s\n" "samples" "max-error" "half-width"
+    "within-CI";
+  List.iter
+    (fun m ->
+       let est = Sampling.shap_sample ~seed:11 ~samples:m ~vars f in
+       let max_err =
+         List.fold_left
+           (fun acc e ->
+              let truth = Rat.to_float (List.assoc e.Sampling.variable exact) in
+              Float.max acc (Float.abs (e.Sampling.value -. truth)))
+           0.0 est
+       in
+       let hw = (List.hd est).Sampling.half_width in
+       row "  %-10d %-12.5f %-12.5f %-10b\n" m max_err hw (max_err <= hw))
+    (if quick then [ 100; 10000 ] else [ 100; 1000; 10000; 100000 ]);
+  row "  (error shrinks ~ 1/sqrt(m), always within the Hoeffding width —\n";
+  row "   the FPRAS contrast the paper draws with the SHAP score [3])\n"
+
+(* ------------------------------------------------------------------ *)
+(* E16: tractable-structure recognizers *)
+
+let e16 () =
+  section "E16" "Structure recognition: read-once factoring & beta-acyclicity";
+  let cases =
+    [ ("x2 & (x1 | x3)   [as DNF]",
+       [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ] ]);
+      ("majority(x1,x2,x3)",
+       [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ]; Vset.of_list [ 1; 3 ] ]);
+      ("(x1&x2) | (x3&x4)",
+       [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 3; 4 ] ]) ]
+  in
+  row "  read-once factoring:\n";
+  List.iter
+    (fun (name, d) ->
+       match Read_once.factor d with
+       | Some tree ->
+         row "    %-24s read-once: %s\n" name
+           (Formula.to_string (Read_once.tree_to_formula tree))
+       | None -> row "    %-24s NOT read-once\n" name)
+    cases;
+  check "P4 DNF rejected"
+    (not
+       (Read_once.is_read_once
+          [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ]; Vset.of_list [ 3; 4 ] ]));
+  row "\n  beta-acyclicity (the Section 3 tractable-CNF class):\n";
+  List.iter
+    (fun (name, edges, expected) ->
+       let got = Hypergraph.is_beta_acyclic edges in
+       row "    %-34s %b\n" name got;
+       if got <> expected then exit 1)
+    [ ("chain {12}{23}{34}",
+       [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ]; Vset.of_list [ 3; 4 ] ],
+       true);
+      ("triangle {12}{23}{13}",
+       [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ]; Vset.of_list [ 1; 3 ] ],
+       false);
+      ("alpha-but-not-beta {123}{12}{23}{13}",
+       [ Vset.of_list [ 1; 2; 3 ]; Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ];
+         Vset.of_list [ 1; 3 ] ],
+       false) ];
+  (* read-once lineage goes straight to polynomial Shapley *)
+  let d = [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 2; 3 ] ] in
+  (match Read_once.factor d with
+   | Some tree ->
+     let f = Read_once.tree_to_formula tree in
+     let vars = [ 1; 2; 3 ] in
+     check "factored Shapley = definitional Shapley"
+       (shap_equal
+          (Circuit_shapley.shap_direct ~vars (Compile.compile f))
+          (Naive.shap_subsets ~vars (Nf.pdnf_to_formula d)))
+   | None -> exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* E17: the Olteanu–Huang OBDD route and the variable-order ablation *)
+
+let e17 () =
+  section "E17" "OBDD route [27]: plan-derived order vs hostile order";
+  let q = Db_parser.parse_query "R(x), S(x, y)" in
+  row "  lineage shape: OR_i (r_i AND OR_j s_ij); query %s\n" (Cq.to_string q);
+  row "  %-8s %-8s %-12s %-14s %-12s\n" "blocks" "vars" "good-order"
+    "hostile-order" "ratio";
+  List.iter
+    (fun blocks ->
+       let db = Database.create () in
+       Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+       Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+       for i = 1 to blocks do
+         ignore (Database.insert db "R" [| Value.int i |])
+       done;
+       for i = 1 to blocks do
+         for j = 1 to 2 do
+           ignore (Database.insert db "S" [| Value.int i; Value.int j |])
+         done
+       done;
+       let _, good = Safe_plan.lineage_obdd db q in
+       let all = Vset.elements (Database.lineage_vars db) in
+       let r_vars, s_vars =
+         List.partition (fun v -> fst (Database.tuple_of_var db v) = "R") all
+       in
+       let bad_m = Obdd.create_manager ~order:(r_vars @ s_vars) in
+       let bad = Obdd.of_formula bad_m (Lineage.lineage_formula db q) in
+       row "  %-8d %-8d %-12d %-14d %-12.1f\n" blocks (List.length all)
+         (Obdd.size good) (Obdd.size bad)
+         (float_of_int (Obdd.size bad) /. float_of_int (Obdd.size good));
+       (* both orders count identically *)
+       let m_good, good' = Safe_plan.lineage_obdd db q in
+       if
+         not
+           (Bigint.equal
+              (Obdd.count m_good ~vars:all good')
+              (Obdd.count bad_m ~vars:all bad))
+       then exit 1)
+    (if quick then [ 4; 8 ] else [ 4; 6; 8; 10; 12 ]);
+  row "  (plan order: linear OBDD; blocks interleaved hostilely: ~2^blocks —\n";
+  row "   the compilation sensitivity [27] that Claim 5.3 builds on)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E18: the Karp–Luby FPRAS [20] vs exact counting *)
+
+let e18 () =
+  section "E18" "Karp-Luby FPRAS [20] on bipartite DNF vs exact counting";
+  row "  %-8s %-10s %-14s %-14s %-12s %-10s\n" "a=b" "edges" "exact"
+    "estimate" "rel-error" "time(s)";
+  List.iter
+    (fun a ->
+       let inst = Bipartite.random ~a ~b:a ~density:0.3 ~seed:(a * 7) in
+       if inst.Bipartite.edges <> [] then begin
+         let d = Bipartite.to_pdnf inst in
+         let vars = Bipartite.all_vars inst in
+         let exact = Bipartite.count inst in
+         let est, t =
+           time (fun () ->
+               Karp_luby.count_samples ~seed:3
+                 ~samples:(if quick then 20000 else 60000)
+                 ~vars d)
+         in
+         let exact_f = Bigint.to_float exact in
+         row "  %-8d %-10d %-14s %-14.0f %-12.4f %-10.3f\n" a
+           (List.length inst.Bipartite.edges)
+           (Bigint.to_string exact) est.Karp_luby.value
+           (Float.abs (est.Karp_luby.value -. exact_f) /. exact_f)
+           t
+       end)
+    (if quick then [ 6; 10 ] else [ 6; 10; 14; 18 ]);
+  row "  (estimator time scales with samples x clauses, independent of 2^n;\n";
+  row "   the exact counter is exponential in the smaller part — the FPRAS\n";
+  row "   contrast [20] the paper cites for model counting)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E19: negated atoms through the compilation solver *)
+
+let e19 () =
+  section "E19" "Negated atoms [29]: lineage with negative literals, compiled";
+  let db = Database.create () in
+  Database.declare db "Emp" ~kind:Database.Endogenous ~arity:1;
+  Database.declare db "Blocked" ~kind:Database.Endogenous ~arity:1;
+  List.iter (fun i -> ignore (Database.insert db "Emp" [| Value.int i |])) [ 1; 2; 3 ];
+  List.iter (fun i -> ignore (Database.insert db "Blocked" [| Value.int i |])) [ 1; 2 ];
+  let q = Db_parser.parse_query "Emp(x), !Blocked(x)" in
+  row "  query: %s\n" (Cq.to_string q);
+  (match Dichotomy.classify q with
+   | Dichotomy.Has_negation -> row "  classification: has negated atoms\n"
+   | _ -> exit 1);
+  let f = Lineage.lineage_formula db q in
+  row "  lineage: %s\n" (Formula.to_string f);
+  let shap, solver = Dichotomy.shapley db q in
+  row "  solver: %s\n"
+    (match solver with
+     | Dichotomy.Compiled_dnf -> "compiled DNF"
+     | Dichotomy.Safe_plan_circuit -> "safe plan (unexpected)");
+  List.iter
+    (fun (v, value) ->
+       let rel, tup = Database.tuple_of_var db v in
+       row "    %s(%s) = %s\n" rel
+         (String.concat "," (List.map Value.to_string (Array.to_list tup)))
+         (Rat.to_string value))
+    shap;
+  check "matches the exponential reference"
+    (shap_equal shap (Dichotomy.shapley_brute db q));
+  check "negative literals present in the lineage"
+    (not (Nf.is_positive f))
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (bechamel) *)
+
+let micro () =
+  section "M" "Micro-benchmarks (bechamel; ns/run, linear fit)";
+  let open Bechamel in
+  let big_a = Bigint.of_string (String.make 120 '7') in
+  let big_b = Bigint.of_string (String.make 80 '3') in
+  let st = Random.State.make [| 31 |] in
+  let f12 = random_full_formula st ~nvars:12 ~depth:6 in
+  let circuit12 = Compile.compile f12 in
+  let vars12 = List.init 12 succ in
+  let points = Reductions.or_points ~count:16 in
+  (* Integer values, as in the real reductions (model counts). *)
+  let values = Array.init 16 (fun i -> Rat.of_int ((i * i * 7) + 1)) in
+  let db, q0 =
+    Hardness.encode (Bipartite.random ~a:4 ~b:4 ~density:0.5 ~seed:3)
+  in
+  let tests =
+    [ Test.make ~name:"bigint-mul-120x80-digits"
+        (Staged.stage (fun () -> ignore (Bigint.mul big_a big_b)));
+      Test.make ~name:"bigint-divmod-120/80-digits"
+        (Staged.stage (fun () -> ignore (Bigint.divmod big_a big_b)));
+      Test.make ~name:"vandermonde-solve-16"
+        (Staged.stage (fun () ->
+             ignore (Linalg.vandermonde_solve ~points ~values)));
+      Test.make ~name:"obdd-of-formula-12vars"
+        (Staged.stage (fun () ->
+             let m = Obdd.create_manager ~order:vars12 in
+             ignore (Obdd.of_formula m f12)));
+      Test.make ~name:"compile-dDNNF-12vars"
+        (Staged.stage (fun () -> ignore (Compile.compile f12)));
+      Test.make ~name:"circuit-kcount-12vars"
+        (Staged.stage (fun () ->
+             ignore (Count.count_by_size ~vars:vars12 circuit12)));
+      Test.make ~name:"dpll-count-12vars"
+        (Staged.stage (fun () -> ignore (Dpll.count f12)));
+      Test.make ~name:"lineage-q0-8tuples"
+        (Staged.stage (fun () -> ignore (Lineage.lineage db q0)));
+      Test.make ~name:"circuit-shapley-12vars"
+        (Staged.stage (fun () ->
+             ignore (Circuit_shapley.shap_direct ~vars:vars12 circuit12)))
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.4) ~kde:(Some 500) ()
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let results =
+         Analyze.all
+           (Analyze.ols ~bootstrap:0 ~r_square:false
+              ~predictors:[| Measure.run |])
+           Toolkit.Instance.monotonic_clock results
+       in
+       Hashtbl.iter
+         (fun name result ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] -> row "  %-34s %12.1f ns/run\n" name est
+            | _ -> row "  %-34s (no estimate)\n" name)
+         results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf
+    "shapmc benchmark harness — reproduction of Kara/Olteanu/Suciu, PODS 2024\n";
+  Printf.printf "mode: %s\n" (if quick then "quick" else "full");
+  let t0 = Unix.gettimeofday () in
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  e15 ();
+  e16 ();
+  e17 ();
+  e18 ();
+  e19 ();
+  micro ();
+  Printf.printf "\nAll experiment sections completed in %.1fs.\n"
+    (Unix.gettimeofday () -. t0)

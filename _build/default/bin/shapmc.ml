@@ -1,0 +1,496 @@
+(* shapmc — command-line front end.
+
+   Subcommands mirror the three problems of Section 3 plus the database
+   application of Section 5:
+
+     shapmc count    "x1 & (x2 | !x3)"          model count
+     shapmc kcount   "x1 & (x2 | !x3)"          fixed-size model counts
+     shapmc shap     "x1 & (x2 | !x3)"          Shapley value of every variable
+     shapmc compile  "x1 & (x2 | !x3)"          compile to a d-D circuit / OBDD
+     shapmc classify "R(x), S(x,y), T(y)"       dichotomy classification
+     shapmc lineage  db.txt                     lineage + Shapley values of tuples
+     shapmc stretch  db.txt                     stretched query + diagram check *)
+
+open Cmdliner
+
+let formula_arg =
+  let doc = "Boolean formula, e.g. 'x1 & (x2 | !x3)'." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let file_arg =
+  let doc = "Database+query file (see docs for the format)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let method_arg ~choices ~default =
+  let doc =
+    Printf.sprintf "Algorithm to use: %s." (String.concat ", " choices)
+  in
+  Arg.(value & opt string default & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let universe_arg =
+  let doc =
+    "Extra universe size: treat the function as being over the first N \
+     variables even if some do not occur (default: the variables occurring \
+     in the formula)."
+  in
+  Arg.(value & opt (some int) None & info [ "n"; "universe" ] ~docv:"N" ~doc)
+
+let parse_formula s =
+  try Ok (Parser.formula_of_string s)
+  with Invalid_argument m -> Error m
+
+let universe_of ?n f =
+  let vars = Formula.vars f in
+  match n with
+  | None -> Vset.elements vars
+  | Some n ->
+    let top = match Vset.max_elt_opt vars with None -> 0 | Some m -> m in
+    if n < top then
+      failwith
+        (Printf.sprintf "universe %d is smaller than the largest variable x%d"
+           n top)
+    else List.init n succ
+
+let wrap f =
+  try f () with
+  | Invalid_argument m | Failure m ->
+    Printf.eprintf "error: %s\n" m;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let count_cmd =
+  let run method_ n s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          let vars = universe_of ?n f in
+          let result =
+            match method_ with
+            | "dpll" -> Dpll.count_universe ~vars f
+            | "brute" -> Brute.count ~vars f
+            | "circuit" -> Count.count ~vars (Compile.compile f)
+            | "obdd" ->
+              let m = Obdd.create_manager ~order:vars in
+              Obdd.count m ~vars (Obdd.of_formula m f)
+            | m -> failwith ("unknown method " ^ m)
+          in
+          Printf.printf "%s\n" (Bigint.to_string result))
+  in
+  let info = Cmd.info "count" ~doc:"Model count #F of a Boolean formula." in
+  Cmd.v info
+    Term.(const run
+          $ method_arg ~choices:[ "dpll"; "brute"; "circuit"; "obdd" ]
+              ~default:"dpll"
+          $ universe_arg $ formula_arg)
+
+let kcount_cmd =
+  let run method_ n s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          let vars = universe_of ?n f in
+          let kv =
+            match method_ with
+            | "dpll" -> Dpll.count_by_size_universe ~vars f
+            | "brute" -> Brute.count_by_size ~vars f
+            | "circuit" -> Count.count_by_size ~vars (Compile.compile f)
+            | "reduction" ->
+              (* Lemma 3.3 through a DPLL counting oracle *)
+              Pipeline.kcounts_via_count_oracle
+                ~oracle:Pipeline.dpll_count_oracle ~vars f
+            | m -> failwith ("unknown method " ^ m)
+          in
+          Array.iteri
+            (fun k c -> Printf.printf "#_%d = %s\n" k (Bigint.to_string c))
+            (Kvec.to_array kv);
+          Printf.printf "#F  = %s\n" (Bigint.to_string (Kvec.total kv)))
+  in
+  let info =
+    Cmd.info "kcount"
+      ~doc:"Fixed-size model counts #_k F (problem #_*C of Section 3)."
+  in
+  Cmd.v info
+    Term.(const run
+          $ method_arg
+              ~choices:[ "dpll"; "brute"; "circuit"; "reduction" ]
+              ~default:"dpll"
+          $ universe_arg $ formula_arg)
+
+let print_shap names shap =
+  let name i =
+    match List.assoc_opt i names with
+    | Some n -> n
+    | None -> Printf.sprintf "x%d" i
+  in
+  List.iter
+    (fun (i, v) ->
+       Printf.printf "%-12s %-14s (~ %.6f)\n" (name i) (Rat.to_string v)
+         (Rat.to_float v))
+    shap;
+  Printf.printf "%-12s %s\n" "sum"
+    (Rat.to_string (Naive.shap_sum shap))
+
+let shap_cmd =
+  let run method_ n s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, names) ->
+          let vars = universe_of ?n f in
+          let shap =
+            match method_ with
+            | "circuit" ->
+              Circuit_shapley.shap_direct ~vars (Compile.compile f)
+            | "reduction" ->
+              Pipeline.shap_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
+                ~vars f
+            | "pqe" ->
+              Pipeline.shap_via_pqe_oracle ~oracle:Pipeline.pqe_circuit_oracle
+                ~vars f
+            | "subsets" -> Naive.shap_subsets ~vars f
+            | "permutations" -> Naive.shap_permutations ~vars f
+            | m -> failwith ("unknown method " ^ m)
+          in
+          print_shap names shap)
+  in
+  let info =
+    Cmd.info "shap"
+      ~doc:"Shapley value of every variable (problem Shap(C) of Section 3)."
+  in
+  Cmd.v info
+    Term.(const run
+          $ method_arg
+              ~choices:[ "circuit"; "reduction"; "pqe"; "subsets"; "permutations" ]
+              ~default:"circuit"
+          $ universe_arg $ formula_arg)
+
+let banzhaf_cmd =
+  let run method_ n s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, names) ->
+          let vars = universe_of ?n f in
+          let scores =
+            match method_ with
+            | "circuit" -> Power_indices.banzhaf_circuit ~vars (Compile.compile f)
+            | "brute" -> Power_indices.banzhaf ~vars f
+            | "dpll" ->
+              Power_indices.banzhaf_via_count_oracle
+                ~count:(fun ~vars f -> Dpll.count_universe ~vars f)
+                ~vars f
+            | m -> failwith ("unknown method " ^ m)
+          in
+          print_shap names scores)
+  in
+  let info =
+    Cmd.info "banzhaf" ~doc:"Banzhaf value of every variable (comparison index)."
+  in
+  Cmd.v info
+    Term.(const run
+          $ method_arg ~choices:[ "circuit"; "brute"; "dpll" ] ~default:"circuit"
+          $ universe_arg $ formula_arg)
+
+let approx_cmd =
+  let samples_arg =
+    Arg.(value & opt int 10000
+         & info [ "s"; "samples" ] ~docv:"N" ~doc:"Number of sampled permutations.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run samples seed n s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, names) ->
+          let vars = universe_of ?n f in
+          let name i =
+            match List.assoc_opt i names with
+            | Some nm -> nm
+            | None -> Printf.sprintf "x%d" i
+          in
+          List.iter
+            (fun e ->
+               Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
+                 (name e.Sampling.variable) e.Sampling.value
+                 e.Sampling.half_width)
+            (Sampling.shap_sample ~seed ~samples ~vars f))
+  in
+  let info =
+    Cmd.info "approx"
+      ~doc:"Approximate Shapley values by permutation sampling (Hoeffding CI)."
+  in
+  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ universe_arg $ formula_arg)
+
+let prob_cmd =
+  let theta_arg =
+    Arg.(value & opt string "1/2"
+         & info [ "t"; "theta" ] ~docv:"THETA"
+             ~doc:"Probability of each variable (a rational, e.g. 1/3).")
+  in
+  let run theta s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          let theta = Rat.of_string theta in
+          let p =
+            Prob.probability ~weights:(fun _ -> theta) (Compile.compile f)
+          in
+          Printf.printf "%s (~ %.6f)\n" (Rat.to_string p) (Rat.to_float p))
+  in
+  let info =
+    Cmd.info "prob"
+      ~doc:"Probability of the function under a uniform product distribution."
+  in
+  Cmd.v info Term.(const run $ theta_arg $ formula_arg)
+
+let factor_cmd =
+  let run s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          if not (Nf.is_positive f) then
+            failwith "read-once factoring requires a positive formula";
+          (match Read_once.factor (Nf.formula_to_pdnf f) with
+           | Some tree ->
+             Printf.printf "read-once: %s\n"
+               (Formula.to_string (Read_once.tree_to_formula tree))
+           | None -> Printf.printf "not read-once\n"))
+  in
+  let info =
+    Cmd.info "factor" ~doc:"Read-once factoring of a positive formula."
+  in
+  Cmd.v info Term.(const run $ formula_arg)
+
+let compile_cmd =
+  let run target s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          (match target with
+           | "circuit" ->
+             let c, stats = Compile.compile_with_stats f in
+             Printf.printf "gates: %d  edges: %d  expansions: %d  cache hits: %d\n"
+               (Circuit.size c) (Circuit.edge_count c)
+               stats.Compile.expansions stats.Compile.cache_hits;
+             Format.printf "%a@." Circuit.pp c
+           | "obdd" ->
+             let vars = Vset.elements (Formula.vars f) in
+             let m = Obdd.create_manager ~order:vars in
+             let o = Obdd.of_formula m f in
+             Printf.printf "nodes: %d\n" (Obdd.size o);
+             Printf.printf "count over its variables: %s\n"
+               (Bigint.to_string (Obdd.count m ~vars o))
+           | t -> failwith ("unknown target " ^ t)))
+  in
+  let info =
+    Cmd.info "compile"
+      ~doc:"Compile a formula to a d-D circuit or OBDD (Section 4)."
+  in
+  Cmd.v info
+    Term.(const run
+          $ method_arg ~choices:[ "circuit"; "obdd" ] ~default:"circuit"
+          $ formula_arg)
+
+let classify_cmd =
+  let run s =
+    wrap (fun () ->
+        let q = Db_parser.parse_query s in
+        Printf.printf "query: %s\n" (Cq.to_string q);
+        match Dichotomy.classify q with
+        | Dichotomy.Hierarchical ->
+          Printf.printf
+            "hierarchical, self-join-free: Shap(C_Q) is in FP (Theorem 5.1)\n"
+        | Dichotomy.Non_hierarchical (x, y) ->
+          Printf.printf
+            "non-hierarchical (witness: %s, %s): Shap(C_Q) is FP^#P-hard \
+             (Theorem 5.1)\n"
+            x y
+        | Dichotomy.Has_self_joins ->
+          Printf.printf "has self-joins: outside the Theorem 5.1 dichotomy\n"
+        | Dichotomy.Has_negation ->
+          Printf.printf
+            "has negated atoms: outside the Theorem 5.1 dichotomy (cf. \
+             Reshef et al.); solved by lineage compilation\n")
+  in
+  let query_arg =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"Conjunctive query, e.g. 'R(x), S(x,y)'.")
+  in
+  let info =
+    Cmd.info "classify" ~doc:"Classify a CQ per the Theorem 5.1 dichotomy."
+  in
+  Cmd.v info Term.(const run $ query_arg)
+
+let lineage_cmd =
+  let run file =
+    wrap (fun () ->
+        let db, q = Db_parser.parse_file file in
+        let f = Lineage.lineage_formula db q in
+        let report = Explain.explain db q in
+        Format.printf "lineage: %s@\n%a@?" (Formula.to_string f) Explain.pp
+          report)
+  in
+  let info =
+    Cmd.info "lineage"
+      ~doc:"Lineage and per-tuple Shapley values for a query over a database."
+  in
+  Cmd.v info Term.(const run $ file_arg)
+
+let stretch_cmd =
+  let run file =
+    wrap (fun () ->
+        let db, q = Db_parser.parse_file file in
+        let is_endo r = Database.kind_of db r = Database.Endogenous in
+        let qt, zs = Stretch.stretch_query ~is_endogenous:is_endo q in
+        Printf.printf "query:     %s\n" (Cq.to_string q);
+        Printf.printf "stretched: %s  (fresh: %s)\n" (Cq.to_string qt)
+          (String.concat ", " zs);
+        Printf.printf "hierarchical: %b -> %b (Lemma 15: preserved)\n"
+          (Cq.is_hierarchical q) (Cq.is_hierarchical qt);
+        (* Verify the commutative diagram on this instance with widths 2. *)
+        let widths _ = 2 in
+        let dbt, blocks = Stretch.or_substituted_db ~widths db in
+        let f_sub =
+          Subst.apply
+            (fun v ->
+               match List.assoc_opt v blocks with
+               | Some vs -> Formula.or_ (List.map Formula.var vs)
+               | None -> Formula.var v)
+            (Lineage.lineage_formula db q)
+        in
+        let f_str = Lineage.lineage_formula dbt qt in
+        Printf.printf "diagram commutes on this database: %b\n"
+          (Semantics.equivalent f_sub f_str))
+  in
+  let info =
+    Cmd.info "stretch"
+      ~doc:"Stretch a query (Def. 10) and verify the Section 5.2 diagram."
+  in
+  Cmd.v info Term.(const run $ file_arg)
+
+let dimacs_cmd =
+  let what_arg =
+    Arg.(value & opt string "count"
+         & info [ "w"; "what" ] ~docv:"WHAT"
+             ~doc:"What to compute: count, kcount, shap, or wmc (uses the \
+                   instance's weight lines, default 1/2).")
+  in
+  let run what file =
+    wrap (fun () ->
+        let inst = Dimacs.parse_file file in
+        let f = Dimacs.to_formula inst in
+        let vars = Dimacs.variables inst in
+        match what with
+        | "count" ->
+          Printf.printf "%s\n" (Bigint.to_string (Dpll.count_universe ~vars f))
+        | "kcount" ->
+          Array.iteri
+            (fun k c -> Printf.printf "#_%d = %s\n" k (Bigint.to_string c))
+            (Kvec.to_array (Dpll.count_by_size_universe ~vars f))
+        | "shap" ->
+          (* CNF-specialized compilation with unit propagation *)
+          print_shap []
+            (Circuit_shapley.shap_direct ~vars
+               (Compile_cnf.compile_dimacs inst))
+        | "wmc" ->
+          let weights v =
+            Option.value ~default:(Rat.of_ints 1 2)
+              (List.assoc_opt v inst.Dimacs.weights)
+          in
+          let p = Dpll.wmc ~weights f in
+          (* unmentioned declared variables have weight sums of 1 *)
+          Printf.printf "%s (~ %.6f)\n" (Rat.to_string p) (Rat.to_float p)
+        | w -> failwith ("unknown computation " ^ w))
+  in
+  let cnf_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.cnf" ~doc:"DIMACS CNF file.")
+  in
+  let info =
+    Cmd.info "dimacs"
+      ~doc:"Count models / Shapley values of a DIMACS CNF instance."
+  in
+  Cmd.v info Term.(const run $ what_arg $ cnf_arg)
+
+let export_nnf_cmd =
+  let run s =
+    wrap (fun () ->
+        match parse_formula s with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          exit 1
+        | Ok (f, _) ->
+          let vars = Vset.elements (Formula.vars f) in
+          let m = Obdd.create_manager ~order:vars in
+          let c = Obdd.to_circuit m (Obdd.of_formula m f) in
+          print_string
+            (Nnf_io.export c
+               ~num_vars:(Option.value ~default:0 (Vset.max_elt_opt (Formula.vars f)))))
+  in
+  let info =
+    Cmd.info "export-nnf"
+      ~doc:"Compile a formula (via OBDD) and print it in c2d NNF format."
+  in
+  Cmd.v info Term.(const run $ formula_arg)
+
+let count_nnf_cmd =
+  let run n file =
+    wrap (fun () ->
+        let c = Nnf_io.import_file file in
+        let vars =
+          match n with
+          | Some n -> List.init n succ
+          | None -> Vset.elements (Circuit.vars c)
+        in
+        Printf.printf "gates: %d\n" (Circuit.size c);
+        Printf.printf "count: %s\n" (Bigint.to_string (Count.count ~vars c));
+        print_shap [] (Circuit_shapley.shap_direct ~vars c))
+  in
+  let nnf_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.nnf" ~doc:"c2d-style NNF file (d-DNNF).")
+  in
+  let info =
+    Cmd.info "count-nnf"
+      ~doc:"Model count and Shapley values of an externally compiled d-DNNF."
+  in
+  Cmd.v info Term.(const run $ universe_arg $ nnf_arg)
+
+let main =
+  let doc =
+    "Shapley values and model counting for Boolean functions, circuits and \
+     query lineage (Kara, Olteanu, Suciu: From Shapley Value to Model \
+     Counting and Back, PODS 2024)."
+  in
+  let info = Cmd.info "shapmc" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ count_cmd; kcount_cmd; shap_cmd; banzhaf_cmd; approx_cmd; prob_cmd;
+      factor_cmd; compile_cmd; classify_cmd; lineage_cmd; stretch_cmd;
+      dimacs_cmd; export_nnf_cmd; count_nnf_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/circuit_pipeline.ml: Bigint Circuit Circuit_shapley Combi Compile Count Dpll Formula Kvec List Naive Obdd Or_subst Parser Printf Rat Unix

@@ -1,0 +1,1 @@
+examples/dichotomy_tour.ml: Array Bigint Bipartite Cq Database Db_parser Dichotomy Formula Hardness List Printf Rat Stretch String Value

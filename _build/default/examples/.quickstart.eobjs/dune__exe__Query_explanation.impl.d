@@ -1,0 +1,1 @@
+examples/query_explanation.ml: Array Cq Database Db_parser Dichotomy Formula Lineage List Naive Printf Rat String Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bigint Circuit_shapley Compile Dpll Format Formula Kvec List Naive Parser Pipeline Printf Rat String

@@ -1,0 +1,1 @@
+examples/scores_tour.ml: Bigint Circuit_shapley Combi Compile Dpll Float Formula List Parser Power_indices Printf Prob Rat Sampling String

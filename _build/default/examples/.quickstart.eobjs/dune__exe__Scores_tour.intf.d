@@ -1,0 +1,1 @@
+examples/scores_tour.mli:

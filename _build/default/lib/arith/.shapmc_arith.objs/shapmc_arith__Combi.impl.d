@@ -1,0 +1,1 @@
+lib/arith/combi.ml: Array Bigint Rat

@@ -1,0 +1,1 @@
+lib/arith/combi.mli: Bigint Rat

@@ -1,0 +1,1 @@
+lib/arith/linalg.ml: Array Poly Rat

@@ -1,0 +1,1 @@
+lib/arith/poly.ml: Array Format Rat Stdlib

@@ -1,0 +1,1 @@
+lib/arith/rat.mli: Bigint Format

@@ -1,0 +1,348 @@
+(* Sign-magnitude bignums: [mag] is little-endian base 2^15 with no leading
+   zero limb, empty iff the value is zero.  All functions preserve this
+   canonical form, so structural equality of canonical values coincides with
+   numerical equality of magnitudes. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits (* 32768 *)
+
+type t = { sg : int; mag : int array }
+
+let zero = { sg = 0; mag = [||] }
+
+let normalize sg mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sg; mag }
+  else { sg; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sg = if n < 0 then -1 else 1 in
+    (* Work on the negative side so that [min_int] does not overflow. *)
+    let m = if n < 0 then n else -n in
+    let rec count m acc = if m = 0 then acc else count (m / base) (acc + 1) in
+    let len = count m 0 in
+    let mag = Array.make len 0 in
+    let rec fill i m =
+      if m <> 0 then begin
+        mag.(i) <- -(m mod base);
+        fill (i + 1) (m / base)
+      end
+    in
+    fill 0 m;
+    { sg; mag }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sg
+let is_zero t = t.sg = 0
+let neg t = if t.sg = 0 then t else { t with sg = -t.sg }
+let abs t = if t.sg < 0 then { t with sg = 1 } else t
+
+(* Robust to non-canonical (leading-zero-padded) magnitudes: intermediate
+   results inside the division loop are compared without normalizing. *)
+let effective_length a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  !n
+
+let compare_mag a b =
+  let la = effective_length a and lb = effective_length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sg <> b.sg then Stdlib.compare a.sg b.sg
+  else if a.sg >= 0 then compare_mag a.mag b.mag
+  else compare_mag b.mag a.mag
+
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let leq a b = compare a b <= 0
+let min a b = if leq a b then a else b
+let max a b = if leq a b then b else a
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let out = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    out.(i) <- s land (base - 1);
+    carry := s lsr base_bits
+  done;
+  out.(l) <- !carry;
+  out
+
+(* Requires [a >= b] as magnitudes. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  out
+
+let add a b =
+  if a.sg = 0 then b
+  else if b.sg = 0 then a
+  else if a.sg = b.sg then normalize a.sg (add_mag a.mag b.mag)
+  else begin
+    match compare_mag a.mag b.mag with
+    | 0 -> zero
+    | c when c > 0 -> normalize a.sg (sub_mag a.mag b.mag)
+    | _ -> normalize b.sg (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ t = add t one
+let pred t = sub t one
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let v = out.(i + j) + (ai * b.(j)) + !carry in
+          out.(i + j) <- v land (base - 1);
+          carry := v lsr base_bits
+        done;
+        out.(i + lb) <- out.(i + lb) + !carry
+      end
+    done;
+    out
+  end
+
+let mul a b =
+  if a.sg = 0 || b.sg = 0 then zero
+  else normalize (a.sg * b.sg) (mul_mag a.mag b.mag)
+
+(* Multiply a magnitude by a small non-negative int (< 2^30). *)
+let mul_small_mag a k =
+  if k = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 3) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let v = (a.(i) * k) + !carry in
+      out.(i) <- v land (base - 1);
+      carry := v lsr base_bits
+    done;
+    let i = ref la in
+    while !carry <> 0 do
+      out.(!i) <- !carry land (base - 1);
+      carry := !carry lsr base_bits;
+      incr i
+    done;
+    out
+  end
+
+let mul_int t k =
+  if k = 0 || t.sg = 0 then zero
+  else begin
+    let sg = if k < 0 then -t.sg else t.sg in
+    let k = Stdlib.abs k in
+    if k < base * base then normalize sg (mul_small_mag t.mag k)
+    else mul t (of_int (if sg = t.sg then k else -k))
+  end
+
+let add_int t k = add t (of_int k)
+
+(* Shift a magnitude left by [k] limbs (multiply by base^k). *)
+let shift_limbs a k =
+  if Array.length a = 0 then a
+  else Array.append (Array.make k 0) a
+
+(* Schoolbook long division on magnitudes; quotient digits found by binary
+   search, which keeps the code simple and is fast enough for the ~hundreds
+   of limbs arising in the reductions. *)
+let divmod_mag a b =
+  if Array.length b = 0 then raise Division_by_zero;
+  if compare_mag a b < 0 then ([||], a)
+  else begin
+    let n = Array.length a and m = Array.length b in
+    let q = Array.make (n - m + 1) 0 in
+    let rem = ref a in
+    for k = n - m downto 0 do
+      let fits d = compare_mag (shift_limbs (mul_small_mag b d) k) !rem <= 0 in
+      let lo = ref 0 and hi = ref (base - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if fits mid then lo := mid else hi := mid - 1
+      done;
+      if !lo > 0 then begin
+        q.(k) <- !lo;
+        let r = sub_mag !rem (shift_limbs (mul_small_mag b !lo) k) in
+        (* Keep the remainder canonical so limb-count comparisons stay valid. *)
+        rem := (normalize 1 r).mag
+      end
+    done;
+    (q, !rem)
+  end
+
+let divmod a b =
+  if b.sg = 0 then raise Division_by_zero;
+  if a.sg = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag a.mag b.mag in
+    (normalize (a.sg * b.sg) qm, normalize a.sg rm)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else if e = 0 then one
+  else begin
+    let h = pow b (e / 2) in
+    let h2 = mul h h in
+    if e land 1 = 1 then mul h2 b else h2
+  end
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let two_pow_minus_one l =
+  if l < 0 then invalid_arg "Bigint.two_pow_minus_one";
+  sub (pow two l) one
+
+(* Divide a magnitude by a small positive int, returning (quotient, rem). *)
+let divmod_small_mag a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+let to_string t =
+  if t.sg = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref t.mag in
+    while Array.length !m > 0 do
+      let q, r = divmod_small_mag !m 1_000_000_000 in
+      chunks := r :: !chunks;
+      m := (normalize 1 q).mag
+    done;
+    let buf = Buffer.create 32 in
+    if t.sg < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg_in, start = if s.[0] = '-' then (true, 1) else (false, 0) in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add_int (mul_int !acc 10) (Char.code c - Char.code '0')
+  done;
+  if neg_in then neg !acc else !acc
+
+let to_float t =
+  let f = ref 0.0 in
+  for i = Array.length t.mag - 1 downto 0 do
+    f := (!f *. float_of_int base) +. float_of_int t.mag.(i)
+  done;
+  if t.sg < 0 then -. !f else !f
+
+let to_int_opt t =
+  if t.sg = 0 then Some 0
+  else begin
+    (* Accumulate on the negative side so min_int round-trips. *)
+    let limit = Stdlib.min_int in
+    let rec go i acc =
+      if i < 0 then Some acc
+      else begin
+        let d = t.mag.(i) in
+        if acc < limit / base then None
+        else begin
+          let acc = acc * base in
+          if acc < limit + d then None else go (i - 1) (acc - d)
+        end
+      end
+    in
+    match go (Array.length t.mag - 1) 0 with
+    | None -> None
+    | Some negv -> if t.sg < 0 then Some negv
+      else if negv = Stdlib.min_int then None
+      else Some (-negv)
+  end
+
+let to_int t =
+  match to_int_opt t with
+  | Some n -> n
+  | None -> failwith "Bigint.to_int: value out of native int range"
+
+let bit_length t =
+  let l = Array.length t.mag in
+  if l = 0 then 0
+  else begin
+    let top = t.mag.(l - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((l - 1) * base_bits) + bits top 0
+  end
+
+let hash t = Hashtbl.hash (t.sg, t.mag)
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = leq
+  let ( > ) a b = lt b a
+  let ( >= ) a b = leq b a
+  let ( ~- ) = neg
+end

@@ -1,0 +1,40 @@
+(* Factorials are cached in a growable table; binomials are derived from the
+   factorial cache rather than a Pascal triangle, which keeps memory linear. *)
+
+let fact_cache = ref [| Bigint.one |]
+
+let factorial n =
+  if n < 0 then invalid_arg "Combi.factorial: negative";
+  let cache = !fact_cache in
+  if n < Array.length cache then cache.(n)
+  else begin
+    let old = Array.length cache in
+    let cache' = Array.make (n + 1) Bigint.one in
+    Array.blit cache 0 cache' 0 old;
+    for i = old to n do
+      cache'.(i) <- Bigint.mul cache'.(i - 1) (Bigint.of_int i)
+    done;
+    fact_cache := cache';
+    cache'.(n)
+  end
+
+let binomial n k =
+  if n < 0 then invalid_arg "Combi.binomial: negative n";
+  if k < 0 || k > n then Bigint.zero
+  else
+    Bigint.div (factorial n) (Bigint.mul (factorial k) (factorial (n - k)))
+
+let shapley_coeff ~n k =
+  if k < 0 || k > n - 1 then invalid_arg "Combi.shapley_coeff: k out of range";
+  Rat.make (Bigint.mul (factorial k) (factorial (n - k - 1))) (factorial n)
+
+let falling n k =
+  let rec go acc i =
+    if i >= k then acc
+    else go (Bigint.mul acc (Bigint.of_int (n - i))) (i + 1)
+  in
+  if k <= 0 then Bigint.one else go Bigint.one 0
+
+let pow2 n =
+  if n < 0 then invalid_arg "Combi.pow2: negative";
+  Bigint.pow Bigint.two n

@@ -1,0 +1,23 @@
+(** Exact combinatorics: factorials, binomial coefficients, and the Shapley
+    coefficients [c_k = k! (n-k-1)! / n!] of Proposition 3.
+
+    All values are memoized; the memo tables grow on demand and are shared
+    across the whole process, which matters because the reductions of
+    Section 3 evaluate [c_k] for every [k] at every variable. *)
+
+(** [factorial n] is [n!]. @raise Invalid_argument if [n < 0]. *)
+val factorial : int -> Bigint.t
+
+(** [binomial n k] is [C(n, k)]; [0] when [k < 0] or [k > n].
+    @raise Invalid_argument if [n < 0]. *)
+val binomial : int -> int -> Bigint.t
+
+(** [shapley_coeff ~n k] is [c_k = k! (n-k-1)! / n!] from Eq. (2), for
+    [0 <= k <= n-1].  @raise Invalid_argument outside that range. *)
+val shapley_coeff : n:int -> int -> Rat.t
+
+(** [falling n k] is the falling factorial [n (n-1) ... (n-k+1)]. *)
+val falling : int -> int -> Bigint.t
+
+(** [pow2 n] is [2^n] as a {!Bigint.t}. @raise Invalid_argument if [n < 0]. *)
+val pow2 : int -> Bigint.t

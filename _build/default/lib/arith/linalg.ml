@@ -1,0 +1,106 @@
+(* Vandermonde solving = polynomial interpolation: the solution vector of
+   [V x = b] with [V_{i,k} = p_i^k] is the coefficient vector of the unique
+   polynomial through [(p_i, b_i)].  Newton divided differences give the
+   Newton form in O(m^2); the conversion to monomial coefficients below is
+   the usual nested multiplication by [(x - p_i)]. *)
+
+let vandermonde_solve ~points ~values =
+  let m = Array.length points in
+  if Array.length values <> m then
+    invalid_arg "Linalg.vandermonde_solve: length mismatch";
+  Array.iteri
+    (fun i pi ->
+       for j = i + 1 to m - 1 do
+         if Rat.equal pi points.(j) then
+           invalid_arg "Linalg.vandermonde_solve: duplicate nodes"
+       done)
+    points;
+  if m = 0 then [||]
+  else begin
+    (* Divided-difference table, computed in place: after round [j],
+       [d.(i)] holds f[p_{i-j}, ..., p_i]. *)
+    let d = Array.copy values in
+    for j = 1 to m - 1 do
+      for i = m - 1 downto j do
+        d.(i) <-
+          Rat.div (Rat.sub d.(i) (d.(i - 1)))
+            (Rat.sub points.(i) (points.(i - j)))
+      done
+    done;
+    (* Newton -> monomial: c := c * (x - p_i) + d_i, from the top down. *)
+    let c = ref Poly.zero in
+    for i = m - 1 downto 0 do
+      c := Poly.add (Poly.mul !c (Poly.x_minus points.(i)))
+          (Poly.of_coeffs [ d.(i) ])
+    done;
+    Array.init m (fun k -> Poly.coeff !c k)
+  end
+
+let gauss_solve a b =
+  let n = Array.length a in
+  if n = 0 then Some [||]
+  else begin
+    let a = Array.map Array.copy a in
+    let b = Array.copy b in
+    let exception Singular in
+    try
+      for col = 0 to n - 1 do
+        (* Partial pivoting: any nonzero pivot is exact over Q. *)
+        let pivot = ref (-1) in
+        (try
+           for r = col to n - 1 do
+             if not (Rat.is_zero a.(r).(col)) then begin
+               pivot := r;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pivot < 0 then raise Singular;
+        if !pivot <> col then begin
+          let t = a.(col) in
+          a.(col) <- a.(!pivot);
+          a.(!pivot) <- t;
+          let t = b.(col) in
+          b.(col) <- b.(!pivot);
+          b.(!pivot) <- t
+        end;
+        let inv_p = Rat.inv a.(col).(col) in
+        for r = col + 1 to n - 1 do
+          let factor = Rat.mul a.(r).(col) inv_p in
+          if not (Rat.is_zero factor) then begin
+            for c = col to n - 1 do
+              a.(r).(c) <- Rat.sub a.(r).(c) (Rat.mul factor a.(col).(c))
+            done;
+            b.(r) <- Rat.sub b.(r) (Rat.mul factor b.(col))
+          end
+        done
+      done;
+      let x = Array.make n Rat.zero in
+      for r = n - 1 downto 0 do
+        let s = ref b.(r) in
+        for c = r + 1 to n - 1 do
+          s := Rat.sub !s (Rat.mul a.(r).(c) x.(c))
+        done;
+        x.(r) <- Rat.div !s a.(r).(r)
+      done;
+      Some x
+    with Singular -> None
+  end
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+       let s = ref Rat.zero in
+       Array.iteri (fun j v -> s := Rat.add !s (Rat.mul v x.(j))) row;
+       !s)
+    a
+
+let vandermonde_matrix points ~cols =
+  Array.map
+    (fun p ->
+       let row = Array.make cols Rat.one in
+       for k = 1 to cols - 1 do
+         row.(k) <- Rat.mul row.(k - 1) p
+       done;
+       row)
+    points

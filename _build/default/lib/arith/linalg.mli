@@ -1,0 +1,27 @@
+(** Exact linear algebra over {!Rat}.
+
+    Lemmas 3.3 and 3.4 each solve a Vandermonde system with nodes
+    [alpha_l = 2^l - 1].  A Vandermonde solve is polynomial interpolation, so
+    the primary solver here runs Newton divided differences in [O(m^2)]
+    exact operations; a dense Gaussian elimination is provided both as a
+    general-purpose solver and as the ablation baseline benchmarked in
+    experiment E4. *)
+
+(** [vandermonde_solve ~points ~values] returns the unique [x] with
+    [sum_k x_k * points_i^k = values_i] for all [i], i.e. the coefficient
+    vector (constant term first) of the polynomial interpolating
+    [(points_i, values_i)].  The nodes must be pairwise distinct.
+    @raise Invalid_argument on length mismatch or duplicate nodes. *)
+val vandermonde_solve : points:Rat.t array -> values:Rat.t array -> Rat.t array
+
+(** [gauss_solve a b] solves the square system [a x = b] by fraction-exact
+    Gaussian elimination with partial (first-nonzero) pivoting.  Returns
+    [None] when [a] is singular.  [a] and [b] are not modified. *)
+val gauss_solve : Rat.t array array -> Rat.t array -> Rat.t array option
+
+(** [mat_vec a x] is the matrix-vector product (for verification). *)
+val mat_vec : Rat.t array array -> Rat.t array -> Rat.t array
+
+(** [vandermonde_matrix points ~cols] is the matrix with entry
+    [points_i^k] at row [i], column [k], for [k < cols]. *)
+val vandermonde_matrix : Rat.t array -> cols:int -> Rat.t array array

@@ -1,0 +1,85 @@
+(* Normalized rationals: [dn] is positive and [gcd nm dn = 1], so structural
+   equality coincides with numerical equality. *)
+
+type t = { nm : Bigint.t; dn : Bigint.t }
+
+let make_norm nm dn =
+  if Bigint.is_zero dn then raise Division_by_zero;
+  if Bigint.is_zero nm then { nm = Bigint.zero; dn = Bigint.one }
+  else begin
+    let nm, dn = if Bigint.sign dn < 0 then (Bigint.neg nm, Bigint.neg dn) else (nm, dn) in
+    let g = Bigint.gcd nm dn in
+    if Bigint.equal g Bigint.one then { nm; dn }
+    else { nm = Bigint.div nm g; dn = Bigint.div dn g }
+  end
+
+let make = make_norm
+let of_bigint n = { nm = n; dn = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints num den = make_norm (Bigint.of_int num) (Bigint.of_int den)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.nm
+let den t = t.dn
+let sign t = Bigint.sign t.nm
+let is_zero t = Bigint.is_zero t.nm
+let is_integer t = Bigint.equal t.dn Bigint.one
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.nm b.dn) (Bigint.mul b.nm a.dn)
+
+let equal a b = Bigint.equal a.nm b.nm && Bigint.equal a.dn b.dn
+
+let neg t = { t with nm = Bigint.neg t.nm }
+let abs t = { t with nm = Bigint.abs t.nm }
+
+let add a b =
+  make_norm
+    (Bigint.add (Bigint.mul a.nm b.dn) (Bigint.mul b.nm a.dn))
+    (Bigint.mul a.dn b.dn)
+
+let sub a b = add a (neg b)
+let mul a b = make_norm (Bigint.mul a.nm b.nm) (Bigint.mul a.dn b.dn)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  if Bigint.sign t.nm < 0 then { nm = Bigint.neg t.dn; dn = Bigint.neg t.nm }
+  else { nm = t.dn; dn = t.nm }
+
+let div a b = mul a (inv b)
+let mul_bigint t n = make_norm (Bigint.mul t.nm n) t.dn
+
+let to_bigint t =
+  if is_integer t then t.nm
+  else failwith "Rat.to_bigint: not an integer"
+
+let to_float t = Bigint.to_float t.nm /. Bigint.to_float t.dn
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.nm
+  else Bigint.to_string t.nm ^ "/" ^ Bigint.to_string t.dn
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+    make_norm
+      (Bigint.of_string (String.sub s 0 i))
+      (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let hash t = Hashtbl.hash (Bigint.hash t.nm, Bigint.hash t.dn)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( ~- ) = neg
+end

@@ -1,0 +1,1 @@
+lib/boolean/formula.ml: Format List Stdlib Vset

@@ -1,0 +1,1 @@
+lib/boolean/formula.mli: Format Vset

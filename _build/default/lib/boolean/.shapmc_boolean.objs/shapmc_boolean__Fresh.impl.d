@@ -1,0 +1,1 @@
+lib/boolean/fresh.ml: Formula List Vset

@@ -1,0 +1,1 @@
+lib/boolean/fresh.mli: Formula Vset

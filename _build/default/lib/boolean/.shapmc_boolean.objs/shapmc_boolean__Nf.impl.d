@@ -1,0 +1,1 @@
+lib/boolean/nf.ml: Formula List Vset

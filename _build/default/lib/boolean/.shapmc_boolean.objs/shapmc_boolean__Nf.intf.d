@@ -1,0 +1,1 @@
+lib/boolean/nf.mli: Formula Vset

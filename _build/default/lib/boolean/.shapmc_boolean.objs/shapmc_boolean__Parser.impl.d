@@ -1,0 +1,1 @@
+lib/boolean/parser.ml: Formula List Printf Stdlib String

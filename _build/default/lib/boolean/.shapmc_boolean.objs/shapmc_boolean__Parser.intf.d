@@ -1,0 +1,1 @@
+lib/boolean/parser.mli: Formula

@@ -1,0 +1,1 @@
+lib/boolean/read_once.ml: Formula Hashtbl List Nf Option Vset

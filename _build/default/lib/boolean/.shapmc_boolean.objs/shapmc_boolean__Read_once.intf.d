@@ -1,0 +1,1 @@
+lib/boolean/read_once.mli: Formula Nf Vset

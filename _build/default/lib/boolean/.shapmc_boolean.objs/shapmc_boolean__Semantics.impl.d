@@ -1,0 +1,1 @@
+lib/boolean/semantics.ml: Array Formula Hashtbl List Printf Vset

@@ -1,0 +1,1 @@
+lib/boolean/semantics.mli: Formula Vset

@@ -1,0 +1,1 @@
+lib/boolean/subst.ml: Formula Fresh Hashtbl List Vset

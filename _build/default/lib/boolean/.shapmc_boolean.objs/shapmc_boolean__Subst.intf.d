@@ -1,0 +1,1 @@
+lib/boolean/subst.mli: Formula Vset

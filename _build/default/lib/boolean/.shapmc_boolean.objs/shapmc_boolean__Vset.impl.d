@@ -1,0 +1,1 @@
+lib/boolean/vset.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/boolean/vset.mli: Format Set

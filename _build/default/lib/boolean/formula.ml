@@ -1,0 +1,122 @@
+type t =
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+
+let tru = True
+let fls = False
+let var v = Var v
+let of_bool b = if b then True else False
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+(* Flatten nested same-connective nodes and apply the constant laws:
+   [absorb] is the dominating constant, [unit_] the neutral one. *)
+let nary ~absorb ~unit_ ~flatten ~mk fs =
+  let exception Absorbed in
+  try
+    let flat = List.concat_map flatten fs in
+    let kept =
+      List.filter
+        (fun f ->
+           if f = absorb then raise Absorbed;
+           f <> unit_)
+        flat
+    in
+    match kept with
+    | [] -> unit_
+    | [ f ] -> f
+    | fs -> mk fs
+  with Absorbed -> absorb
+
+let and_ fs =
+  nary ~absorb:False ~unit_:True
+    ~flatten:(function And gs -> gs | f -> [ f ])
+    ~mk:(fun fs -> And fs) fs
+
+let or_ fs =
+  nary ~absorb:True ~unit_:False
+    ~flatten:(function Or gs -> gs | f -> [ f ])
+    ~mk:(fun fs -> Or fs) fs
+let conj2 a b = and_ [ a; b ]
+let disj2 a b = or_ [ a; b ]
+
+let rec vars = function
+  | True | False -> Vset.empty
+  | Var v -> Vset.singleton v
+  | Not f -> vars f
+  | And fs | Or fs ->
+    List.fold_left (fun acc f -> Vset.union acc (vars f)) Vset.empty fs
+
+let rec size = function
+  | True | False | Var _ -> 1
+  | Not f -> 1 + size f
+  | And fs | Or fs ->
+    let n = List.length fs in
+    Stdlib.max 0 (n - 1) + List.fold_left (fun acc f -> acc + size f) 0 fs
+
+let rec eval env = function
+  | True -> true
+  | False -> false
+  | Var v -> env v
+  | Not f -> not (eval env f)
+  | And fs -> List.for_all (eval env) fs
+  | Or fs -> List.exists (eval env) fs
+
+let eval_set s f = eval (fun v -> Vset.mem v s) f
+
+let equal = Stdlib.( = )
+let compare = Stdlib.compare
+
+let rec map_var h = function
+  | (True | False) as f -> f
+  | Var v -> h v
+  | Not f -> not_ (map_var h f)
+  | And fs -> and_ (List.map (map_var h) fs)
+  | Or fs -> or_ (List.map (map_var h) fs)
+
+let rename h f = map_var (fun v -> Var (h v)) f
+
+let restrict v b f = map_var (fun u -> if u = v then of_bool b else Var u) f
+
+let restrict_set bindings f =
+  map_var
+    (fun u ->
+       match List.assoc_opt u bindings with
+       | Some b -> of_bool b
+       | None -> Var u)
+    f
+
+let simplify f = map_var var f
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "1"
+  | False -> Format.pp_print_string ppf "0"
+  | Var v -> Format.fprintf ppf "x%d" v
+  | Not f -> Format.fprintf ppf "!%a" pp_atom f
+  | And fs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+      pp_atom ppf fs
+  | Or fs ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+      pp_or_arg ppf fs
+
+(* Arguments of [&] and [!] need parentheses around [|] (and [&] under [!]). *)
+and pp_atom ppf = function
+  | (And _ | Or _) as f -> Format.fprintf ppf "(%a)" pp f
+  | f -> pp ppf f
+
+and pp_or_arg ppf = function
+  | Or _ as f -> Format.fprintf ppf "(%a)" pp f
+  | f -> pp ppf f
+
+let to_string f = Format.asprintf "%a" pp f

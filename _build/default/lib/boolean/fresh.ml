@@ -1,0 +1,24 @@
+(** Fresh-variable supply.
+
+    OR-substitutions (Definition 1) replace each variable by a disjunction of
+    {e fresh} variables; the supply hands out identifiers strictly above
+    everything in an [avoid] set so freshness is guaranteed by construction. *)
+
+type t = { mutable next : int }
+
+(** [make ~avoid] is a supply whose variables are all fresh w.r.t. [avoid]. *)
+let make ~avoid =
+  let next = match Vset.max_elt_opt avoid with None -> 1 | Some m -> m + 1 in
+  { next }
+
+(** [for_formula f] is a supply fresh w.r.t. the variables of [f]. *)
+let for_formula f = make ~avoid:(Formula.vars f)
+
+(** [fresh t] returns the next fresh variable. *)
+let fresh t =
+  let v = t.next in
+  t.next <- v + 1;
+  v
+
+(** [fresh_block t k] returns [k] fresh variables, in ascending order. *)
+let fresh_block t k = List.init k (fun _ -> fresh t)

@@ -1,0 +1,21 @@
+(** Fresh-variable supply.
+
+    OR-substitutions (Definition 1) replace each variable by a disjunction
+    of {e fresh} variables; the supply hands out identifiers strictly
+    above everything in an avoid set, so freshness holds by
+    construction. *)
+
+type t
+
+(** [make ~avoid] is a supply whose variables are all fresh w.r.t.
+    [avoid]. *)
+val make : avoid:Vset.t -> t
+
+(** [for_formula f] is a supply fresh w.r.t. the variables of [f]. *)
+val for_formula : Formula.t -> t
+
+(** [fresh t] returns the next fresh variable. *)
+val fresh : t -> int
+
+(** [fresh_block t k] returns [k] fresh variables, in ascending order. *)
+val fresh_block : t -> int -> int list

@@ -1,0 +1,52 @@
+(** Normal forms: clauses, CNF/DNF, and positive DNF.
+
+    Positive DNF is the shape of conjunctive-query lineage (Section 5.1);
+    positive {e bipartite} DNF [⋁_{(i,j)∈E} X_i ∧ Y_j] is the #P-hard class
+    of Provan–Ball used for the hardness side of the dichotomy
+    (Theorem 5.1). *)
+
+(** A clause: positive and negative literal sets (disjoint). *)
+type clause = { pos : Vset.t; neg : Vset.t }
+
+(** A positive DNF: a disjunction of conjunctions of positive literals,
+    each conjunction given as a variable set.  The empty list is [false];
+    a member empty set makes the whole function [true]. *)
+type pdnf = Vset.t list
+
+val clause : pos:int list -> neg:int list -> clause
+
+(** [cnf_to_formula cs] interprets [cs] as a conjunction of disjunctive
+    clauses. *)
+val cnf_to_formula : clause list -> Formula.t
+
+(** [dnf_to_formula cs] interprets [cs] as a disjunction of conjunctive
+    clauses. *)
+val dnf_to_formula : clause list -> Formula.t
+
+(** [pdnf_to_formula d] builds the formula [⋁_c ⋀_{v∈c} X_v]. *)
+val pdnf_to_formula : pdnf -> Formula.t
+
+(** [pdnf_vars d] is the union of all clause variable sets. *)
+val pdnf_vars : pdnf -> Vset.t
+
+(** [pdnf_eval d s] evaluates the positive DNF under valuation [s]. *)
+val pdnf_eval : pdnf -> Vset.t -> bool
+
+(** [pdnf_minimize d] removes duplicate and superset clauses (sound for
+    positive DNF: a superset clause is absorbed). *)
+val pdnf_minimize : pdnf -> pdnf
+
+(** [bipartite ~edges] builds the positive bipartite DNF
+    [⋁_{(i,j)∈edges} X_i ∧ Y_j] of Section 3, with the left part encoded
+    as variables [2i] and the right part as [2j + 1] (so left and right
+    variables never clash).  Returns the pdnf together with the encoders. *)
+val bipartite : edges:(int * int) list -> pdnf * (int -> int) * (int -> int)
+
+(** [is_positive f] holds iff no variable occurs under a negation. *)
+val is_positive : Formula.t -> bool
+
+(** [formula_to_pdnf f] converts by distributing [∧] over [∨]
+    (worst-case exponential; used by the Lemma 12 / Appendix B.2.2
+    transformation where the blow-up is bounded by the query arity).
+    @raise Invalid_argument if [f] contains a negation. *)
+val formula_to_pdnf : Formula.t -> pdnf

@@ -1,0 +1,157 @@
+(* Hand-written lexer + recursive-descent parser, matching the grammar in
+   the interface.  Kept dependency-free on purpose. *)
+
+type token =
+  | Tok_var of string
+  | Tok_true
+  | Tok_false
+  | Tok_and
+  | Tok_or
+  | Tok_not
+  | Tok_lpar
+  | Tok_rpar
+  | Tok_eof
+
+let fail pos msg =
+  invalid_arg (Printf.sprintf "Parser: %s at position %d" msg pos)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let lex s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '&' || c = '*' then begin
+      toks := (Tok_and, !i) :: !toks;
+      incr i
+    end
+    else if c = '|' || c = '+' then begin
+      toks := (Tok_or, !i) :: !toks;
+      incr i
+    end
+    else if c = '!' || c = '~' then begin
+      toks := (Tok_not, !i) :: !toks;
+      incr i
+    end
+    else if c = '(' then begin
+      toks := (Tok_lpar, !i) :: !toks;
+      incr i
+    end
+    else if c = ')' then begin
+      toks := (Tok_rpar, !i) :: !toks;
+      incr i
+    end
+    else if c = '0' then begin
+      toks := (Tok_false, !i) :: !toks;
+      incr i
+    end
+    else if c = '1' then begin
+      toks := (Tok_true, !i) :: !toks;
+      incr i
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char s.[!i] do
+        incr i
+      done;
+      toks := (Tok_var (String.sub s start (!i - start)), start) :: !toks
+    end
+    else fail !i (Printf.sprintf "unexpected character %C" c)
+  done;
+  List.rev ((Tok_eof, n) :: !toks)
+
+(* Identifier interning: [x<digits>] is variable <digits>; other names get
+   ids above every numbered variable seen so far, in first-occurrence
+   order. *)
+type interner = {
+  mutable table : (string * int) list;
+  mutable next : int;
+}
+
+let numbered name =
+  if String.length name >= 2 && name.[0] = 'x' then
+    int_of_string_opt (String.sub name 1 (String.length name - 1))
+  else None
+
+let intern st name =
+  match List.assoc_opt name st.table with
+  | Some v -> v
+  | None ->
+    let v =
+      match numbered name with
+      | Some k when k >= 0 ->
+        st.next <- Stdlib.max st.next (k + 1);
+        k
+      | _ ->
+        let v = st.next in
+        st.next <- v + 1;
+        v
+    in
+    st.table <- (name, v) :: st.table;
+    v
+
+let formula_of_string s =
+  let toks = ref (lex s) in
+  let st = { table = []; next = 1 } in
+  let peek () = List.hd !toks in
+  let advance () = toks := List.tl !toks in
+  let rec parse_or () =
+    let lhs = parse_and () in
+    let rec loop acc =
+      match peek () with
+      | Tok_or, _ ->
+        advance ();
+        loop (parse_and () :: acc)
+      | _ -> List.rev acc
+    in
+    Formula.or_ (loop [ lhs ])
+  and parse_and () =
+    let lhs = parse_not () in
+    let rec loop acc =
+      match peek () with
+      | Tok_and, _ ->
+        advance ();
+        loop (parse_not () :: acc)
+      | _ -> List.rev acc
+    in
+    Formula.and_ (loop [ lhs ])
+  and parse_not () =
+    match peek () with
+    | Tok_not, _ ->
+      advance ();
+      Formula.not_ (parse_not ())
+    | _ -> parse_atom ()
+  and parse_atom () =
+    match peek () with
+    | Tok_true, _ ->
+      advance ();
+      Formula.tru
+    | Tok_false, _ ->
+      advance ();
+      Formula.fls
+    | Tok_var name, _ ->
+      advance ();
+      Formula.var (intern st name)
+    | Tok_lpar, pos ->
+      advance ();
+      let f = parse_or () in
+      (match peek () with
+       | Tok_rpar, _ ->
+         advance ();
+         f
+       | _, p -> fail p (Printf.sprintf "unclosed '(' opened at %d" pos))
+    | _, pos -> fail pos "expected a formula"
+  in
+  let f = parse_or () in
+  (match peek () with
+   | Tok_eof, _ -> ()
+   | _, pos -> fail pos "trailing input");
+  (f, List.rev_map (fun (name, v) -> (v, name)) st.table)
+
+let formula_of_string_exn s = fst (formula_of_string s)

@@ -1,0 +1,20 @@
+(** Sets of Boolean variables (variables are integer identifiers).
+
+    Shared throughout the library: formulas, valuations (Section 2 denotes a
+    valuation by the set of variables it maps to 1), circuit gate variable
+    scopes, and lineage all manipulate variable sets. *)
+
+include Set.Make (Int)
+
+(** [of_range lo hi] is [{lo, lo+1, ..., hi}] (empty when [hi < lo]). *)
+let of_range lo hi =
+  let rec go acc i = if i < lo then acc else go (add i acc) (i - 1) in
+  go empty hi
+
+(** [pp] prints as [{1, 2, 5}]. *)
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    (elements s)

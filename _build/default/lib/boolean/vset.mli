@@ -1,0 +1,13 @@
+(** Sets of Boolean variables (variables are integer identifiers).
+
+    Shared throughout the library: formulas, valuations (Section 2
+    denotes a valuation by the set of variables it maps to 1), circuit
+    gate scopes and lineage clauses are all variable sets. *)
+
+include Set.S with type elt = int
+
+(** [of_range lo hi] is [{lo, lo+1, ..., hi}] (empty when [hi < lo]). *)
+val of_range : int -> int -> t
+
+(** [pp] prints as [{1, 2, 5}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/circuits/circuit.ml: Array Format Formula Hashtbl List Printf Stdlib Vset

@@ -1,0 +1,1 @@
+lib/circuits/compile.ml: Circuit Formula Hashtbl List Option Vset

@@ -1,0 +1,1 @@
+lib/circuits/compile.mli: Circuit Formula

@@ -1,0 +1,1 @@
+lib/circuits/compile_cnf.ml: Circuit Dimacs Hashtbl List Nf Option Vset

@@ -1,0 +1,1 @@
+lib/circuits/compile_cnf.mli: Circuit Dimacs Nf

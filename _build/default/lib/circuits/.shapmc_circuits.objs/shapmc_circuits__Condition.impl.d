@@ -1,0 +1,1 @@
+lib/circuits/condition.ml: Circuit Hashtbl List Vset

@@ -1,0 +1,1 @@
+lib/circuits/count.ml: Circuit Hashtbl Kvec List Vset

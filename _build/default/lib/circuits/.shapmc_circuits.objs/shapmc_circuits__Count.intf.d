@@ -1,0 +1,1 @@
+lib/circuits/count.mli: Bigint Circuit Kvec

@@ -1,0 +1,1 @@
+lib/circuits/nnf_io.ml: Array Buffer Circuit Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/circuits/nnf_io.mli: Circuit

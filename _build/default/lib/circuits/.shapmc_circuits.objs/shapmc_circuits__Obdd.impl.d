@@ -1,0 +1,1 @@
+lib/circuits/obdd.ml: Circuit Formula Hashtbl Kvec List Vset

@@ -1,0 +1,1 @@
+lib/circuits/obdd.mli: Bigint Circuit Formula Kvec Vset

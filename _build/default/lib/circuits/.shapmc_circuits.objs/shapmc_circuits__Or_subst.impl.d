@@ -1,0 +1,1 @@
+lib/circuits/or_subst.ml: Circuit Fresh Hashtbl List Vset

@@ -1,0 +1,1 @@
+lib/circuits/or_subst.mli: Circuit Vset

@@ -1,0 +1,1 @@
+lib/circuits/prob.ml: Circuit Combi Condition Hashtbl List Poly Rat Vset

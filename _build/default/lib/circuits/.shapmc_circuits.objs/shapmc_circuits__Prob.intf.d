@@ -1,0 +1,1 @@
+lib/circuits/prob.mli: Circuit Poly Rat

@@ -1,0 +1,214 @@
+type or_kind = Deterministic | Disjoint
+
+type gate =
+  | Ctrue
+  | Cfalse
+  | Cvar of int
+  | Cnot of node
+  | Cand of node list
+  | Cor of or_kind * node list
+
+and node = { id : int; gate : gate; vars : Vset.t }
+
+(* Hash-consing: gates are keyed by constructor + child ids, so structurally
+   equal gates share a node and [id] equality is semantic equality for
+   nodes built through this module. *)
+type key =
+  | Ktrue
+  | Kfalse
+  | Kvar of int
+  | Knot of int
+  | Kand of int list
+  | Kor of or_kind * int list
+
+let table : (key, node) Hashtbl.t = Hashtbl.create 1024
+let next_id = ref 0
+
+let intern key gate vars =
+  match Hashtbl.find_opt table key with
+  | Some n -> n
+  | None ->
+    let n = { id = !next_id; gate; vars } in
+    incr next_id;
+    Hashtbl.replace table key n;
+    n
+
+let ctrue = intern Ktrue Ctrue Vset.empty
+let cfalse = intern Kfalse Cfalse Vset.empty
+let cbool b = if b then ctrue else cfalse
+let cvar v = intern (Kvar v) (Cvar v) (Vset.singleton v)
+
+let cnot g =
+  match g.gate with
+  | Ctrue -> cfalse
+  | Cfalse -> ctrue
+  | Cnot h -> h
+  | _ -> intern (Knot g.id) (Cnot g) g.vars
+
+let union_vars gs =
+  List.fold_left (fun acc g -> Vset.union acc g.vars) Vset.empty gs
+
+let check_pairwise_disjoint ~what gs =
+  let rec go seen = function
+    | [] -> ()
+    | g :: rest ->
+      if not (Vset.disjoint seen g.vars) then
+        invalid_arg (Printf.sprintf "Circuit.%s: children share variables" what);
+      go (Vset.union seen g.vars) rest
+  in
+  go Vset.empty gs
+
+(* Children are dedup-sorted by id so that hash-consing is insensitive to
+   argument order (∧ and ∨ are commutative). *)
+let norm_children gs =
+  List.sort_uniq (fun a b -> Stdlib.compare a.id b.id) gs
+
+let cand gs =
+  if List.exists (fun g -> g.gate = Cfalse) gs then cfalse
+  else begin
+    let gs = norm_children (List.filter (fun g -> g.gate <> Ctrue) gs) in
+    match gs with
+    | [] -> ctrue
+    | [ g ] -> g
+    | gs ->
+      check_pairwise_disjoint ~what:"cand" gs;
+      intern (Kand (List.map (fun g -> g.id) gs)) (Cand gs) (union_vars gs)
+  end
+
+(* For a deterministic ∨, a [Ctrue] child forces every other child to be
+   unsatisfiable, so the gate is equivalent to true. *)
+let cor kind gs =
+  if List.exists (fun g -> g.gate = Ctrue) gs then ctrue
+  else begin
+    let gs = norm_children (List.filter (fun g -> g.gate <> Cfalse) gs) in
+    match gs with
+    | [] -> cfalse
+    | [ g ] -> g
+    | gs ->
+      (match kind with
+       | Disjoint -> check_pairwise_disjoint ~what:"cor_disj" gs
+       | Deterministic -> ());
+      intern (Kor (kind, List.map (fun g -> g.id) gs)) (Cor (kind, gs))
+        (union_vars gs)
+  end
+
+let cor_det gs = cor Deterministic gs
+let cor_disj gs = cor Disjoint gs
+
+let vars g = g.vars
+
+let fold f init root =
+  let seen = Hashtbl.create 64 in
+  let acc = ref init in
+  let rec go g =
+    if not (Hashtbl.mem seen g.id) then begin
+      Hashtbl.replace seen g.id ();
+      (match g.gate with
+       | Ctrue | Cfalse | Cvar _ -> ()
+       | Cnot h -> go h
+       | Cand gs | Cor (_, gs) -> List.iter go gs);
+      acc := f !acc g
+    end
+  in
+  go root;
+  !acc
+
+let size g = fold (fun n _ -> n + 1) 0 g
+
+let edge_count g =
+  fold
+    (fun n node ->
+       match node.gate with
+       | Ctrue | Cfalse | Cvar _ -> n
+       | Cnot _ -> n + 1
+       | Cand gs | Cor (_, gs) -> n + List.length gs)
+    0 g
+
+let eval env root =
+  (* Memoized over the DAG so shared gates are evaluated once. *)
+  let memo = Hashtbl.create 64 in
+  let rec go g =
+    match Hashtbl.find_opt memo g.id with
+    | Some b -> b
+    | None ->
+      let b =
+        match g.gate with
+        | Ctrue -> true
+        | Cfalse -> false
+        | Cvar v -> env v
+        | Cnot h -> not (go h)
+        | Cand gs -> List.for_all go gs
+        | Cor (_, gs) -> List.exists go gs
+      in
+      Hashtbl.replace memo g.id b;
+      b
+  in
+  go root
+
+let eval_set s g = eval (fun v -> Vset.mem v s) g
+
+let rec to_formula g =
+  match g.gate with
+  | Ctrue -> Formula.tru
+  | Cfalse -> Formula.fls
+  | Cvar v -> Formula.var v
+  | Cnot h -> Formula.not_ (to_formula h)
+  | Cand gs -> Formula.and_ (List.map to_formula gs)
+  | Cor (_, gs) -> Formula.or_ (List.map to_formula gs)
+
+let check_deterministic ~max_vars root =
+  let ok = ref true in
+  let check_gate g =
+    match g.gate with
+    | Cor (Deterministic, gs) ->
+      let vs = Array.of_list (Vset.elements g.vars) in
+      if Array.length vs > max_vars then
+        invalid_arg "Circuit.check_deterministic: gate scope too large";
+      for mask = 0 to (1 lsl Array.length vs) - 1 do
+        let env v =
+          let rec idx i = if vs.(i) = v then i else idx (i + 1) in
+          mask land (1 lsl idx 0) <> 0
+        in
+        let sat = List.filter (fun child -> eval env child) gs in
+        if List.length sat > 1 then ok := false
+      done
+    | _ -> ()
+  in
+  fold (fun () g -> check_gate g) () root;
+  !ok
+
+let equivalent_formula ~max_vars g f =
+  let universe = Vset.union g.vars (Formula.vars f) in
+  let vs = Array.of_list (Vset.elements universe) in
+  let n = Array.length vs in
+  if n > max_vars then
+    invalid_arg "Circuit.equivalent_formula: too many variables";
+  let ok = ref true in
+  for mask = 0 to (1 lsl n) - 1 do
+    let s = ref Vset.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then s := Vset.add vs.(i) !s
+    done;
+    if eval_set !s g <> Formula.eval_set !s f then ok := false
+  done;
+  !ok
+
+let rec pp ppf g =
+  match g.gate with
+  | Ctrue -> Format.pp_print_string ppf "1"
+  | Cfalse -> Format.pp_print_string ppf "0"
+  | Cvar v -> Format.fprintf ppf "x%d" v
+  | Cnot h -> Format.fprintf ppf "!%a" pp h
+  | Cand gs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " & ")
+         pp)
+      gs
+  | Cor (k, gs) ->
+    let sep = match k with Deterministic -> " |d " | Disjoint -> " |x " in
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "%s" sep)
+         pp)
+      gs

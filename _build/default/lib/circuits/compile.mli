@@ -1,0 +1,25 @@
+(** Top-down compilation of formulas into d-D circuits (a d-DNNF-style
+    compiler).
+
+    Knowledge compilation turns a Boolean function into a deterministic &
+    decomposable circuit so that counting — and hence, by Theorem 4.1,
+    Shapley values — become polynomial in the circuit size (Section 4; the
+    compilation itself may take exponential time, "the price to pay").
+
+    The compiler performs Shannon expansion on a most-frequent variable,
+    producing a deterministic OR of the two cofactor branches
+    [(¬x ∧ C_0) ∨ (x ∧ C_1)]; conjunctions and disjunctions whose parts
+    have pairwise disjoint variables are split into decomposable AND /
+    disjoint OR gates; subformulas are cached structurally, sharing the
+    DAG.  This mirrors what c2d/Dsharp-style compilers do (no external
+    compiler is available in this environment). *)
+
+(** Compilation statistics. *)
+type stats = { expansions : int; cache_hits : int }
+
+(** [compile f] returns an equivalent d-D circuit over the variables of
+    [f] (a subset: simplification can eliminate variables). *)
+val compile : Formula.t -> Circuit.node
+
+(** [compile_with_stats f] also reports compiler effort. *)
+val compile_with_stats : Formula.t -> Circuit.node * stats

@@ -1,0 +1,53 @@
+(* One bottom-up pass; the memo is per call (node ids are process-global,
+   so a persistent memo would never see collisions, but per-call keeps the
+   module stateless). *)
+
+let count_by_size_circuit root =
+  let memo : (int, Kvec.t) Hashtbl.t = Hashtbl.create 256 in
+  let smooth_to scope child_vec child_vars =
+    Kvec.extend child_vec
+      ~extra:(Vset.cardinal scope - Vset.cardinal child_vars)
+  in
+  let rec go (g : Circuit.node) =
+    match Hashtbl.find_opt memo g.id with
+    | Some v -> v
+    | None ->
+      let v =
+        match g.gate with
+        | Circuit.Ctrue -> Kvec.const_true ~n:0
+        | Circuit.Cfalse -> Kvec.const_false ~n:0
+        | Circuit.Cvar _ -> Kvec.singleton_true
+        | Circuit.Cnot h -> Kvec.complement (go h)
+        | Circuit.Cand gs ->
+          List.fold_left
+            (fun acc h -> Kvec.conv acc (go h))
+            (Kvec.const_true ~n:0) gs
+        | Circuit.Cor (Circuit.Deterministic, gs) ->
+          List.fold_left
+            (fun acc h ->
+               Kvec.add acc (smooth_to g.vars (go h) (Circuit.vars h)))
+            (Kvec.const_false ~n:(Vset.cardinal g.vars))
+            gs
+        | Circuit.Cor (Circuit.Disjoint, gs) ->
+          (* all − Π (non-models of children) *)
+          let non =
+            List.fold_left
+              (fun acc h -> Kvec.conv acc (Kvec.complement (go h)))
+              (Kvec.const_true ~n:0) gs
+          in
+          Kvec.complement non
+      in
+      Hashtbl.replace memo g.id v;
+      v
+  in
+  go root
+
+let count_by_size ~vars g =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Circuit.vars g) universe) then
+    invalid_arg "Count: universe misses circuit variables";
+  let base = count_by_size_circuit g in
+  Kvec.extend base ~extra:(List.length vars - Kvec.universe_size base)
+
+let count ~vars g = Kvec.total (count_by_size ~vars g)
+let count_circuit g = Kvec.total (count_by_size_circuit g)

@@ -1,0 +1,54 @@
+(** OR-substitution on deterministic & decomposable circuits (Lemma 9).
+
+    The disjunction [Z_1 ∨ ... ∨ Z_l] replacing a variable is not itself
+    deterministic, so it is installed as the equivalent deterministic chain
+
+    {v G∨(Z_i..Z_l) = Z_i ∨ (¬Z_i ∧ G∨(Z_{i+1}..Z_l)),   G∨(Z_l) = Z_l v}
+
+    of size [O(l)], and a negated occurrence [¬X] becomes
+    [¬Z_1 ∧ ... ∧ ¬Z_l] (both deterministic and decomposable since the
+    [Z_i] are distinct fresh variables).  The whole transformation runs in
+    [O(|G| + k·l)] for a variable with [k] occurrences — the bound stated
+    after Lemma 9 and measured by experiment E7.
+
+    The API mirrors {!Shapmc_boolean.Subst} so the circuit pipeline can be
+    swapped for the formula pipeline in the reductions of Section 3. *)
+
+type blocks = (int * int list) list
+
+(** [det_or_chain zs] is the deterministic chain circuit for
+    [⋁ zs] ([cfalse] for the empty list). *)
+val det_or_chain : int list -> Circuit.node
+
+(** [or_subst ~widths g] replaces each variable [v] of the universe
+    (default: the variables of [g]) by a disjunction of [widths v] fresh
+    variables.  Universe variables absent from [g] get fresh blocks in the
+    output universe without altering the circuit.  Fresh variables are
+    chosen above the universe.
+    @raise Invalid_argument if the universe misses a circuit variable. *)
+val or_subst :
+  ?universe:Vset.t -> widths:(int -> int) -> Circuit.node ->
+  Circuit.node * blocks
+
+(** [uniform_or ~l g] is the circuit analogue of [F^(l)] (every variable
+    replaced by [l] fresh ones). *)
+val uniform_or :
+  ?universe:Vset.t -> l:int -> Circuit.node -> Circuit.node * blocks
+
+(** [uniform_or_except ~l ~keep g] replaces [keep] by a single fresh
+    variable and every other variable by [l] fresh ones — the circuit
+    [F^(l,i)] from the proof of Lemma 3.4.  Returns the circuit, the fresh
+    variable standing for [keep], and the blocks. *)
+val uniform_or_except :
+  ?universe:Vset.t -> l:int -> keep:int -> Circuit.node ->
+  Circuit.node * int * blocks
+
+(** [isomorphic_copy g] renames every variable to a fresh one (all widths
+    1). *)
+val isomorphic_copy :
+  ?universe:Vset.t -> Circuit.node -> Circuit.node * blocks
+
+(** [zap ~zero g] maps variables in [zero] to the empty disjunction
+    (false) and the rest to single fresh variables. *)
+val zap :
+  ?universe:Vset.t -> zero:Vset.t -> Circuit.node -> Circuit.node * blocks

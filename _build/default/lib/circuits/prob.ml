@@ -1,0 +1,116 @@
+let uniform_half _ = Rat.of_ints 1 2
+
+let probability ~weights root =
+  let memo = Hashtbl.create 64 in
+  let rec go (g : Circuit.node) =
+    match Hashtbl.find_opt memo g.id with
+    | Some p -> p
+    | None ->
+      let p =
+        match g.gate with
+        | Circuit.Ctrue -> Rat.one
+        | Circuit.Cfalse -> Rat.zero
+        | Circuit.Cvar v -> weights v
+        | Circuit.Cnot h -> Rat.sub Rat.one (go h)
+        | Circuit.Cand gs ->
+          List.fold_left (fun acc h -> Rat.mul acc (go h)) Rat.one gs
+        | Circuit.Cor (Circuit.Deterministic, gs) ->
+          (* mutually exclusive: probabilities add *)
+          List.fold_left (fun acc h -> Rat.add acc (go h)) Rat.zero gs
+        | Circuit.Cor (Circuit.Disjoint, gs) ->
+          (* independent union: 1 − Π (1 − p) *)
+          Rat.sub Rat.one
+            (List.fold_left
+               (fun acc h -> Rat.mul acc (Rat.sub Rat.one (go h)))
+               Rat.one gs)
+      in
+      Hashtbl.replace memo g.id p;
+      p
+  in
+  go root
+
+(* (1 + t)^m, the polynomial of the constant-1 function over m free
+   variables (every conditional expectation is 1). *)
+let ones_poly m =
+  let rec go acc k =
+    if k = 0 then acc else go (Poly.mul acc (Poly.of_coeffs [ Rat.one; Rat.one ])) (k - 1)
+  in
+  go Poly.one m
+
+let expectation_poly ~weights ~entity root =
+  let memo = Hashtbl.create 64 in
+  let scope_size (g : Circuit.node) = Vset.cardinal g.vars in
+  (* Smooth a child polynomial to a larger scope: conditioning sets may
+     include variables the child ignores. *)
+  let smooth child_poly child_scope target_scope =
+    Poly.mul child_poly (ones_poly (target_scope - child_scope))
+  in
+  let rec go (g : Circuit.node) =
+    match Hashtbl.find_opt memo g.id with
+    | Some h -> h
+    | None ->
+      let h =
+        match g.gate with
+        | Circuit.Ctrue -> Poly.one
+        | Circuit.Cfalse -> Poly.zero
+        | Circuit.Cvar v ->
+          (* S = {}: expectation p_v; S = {v}: the entity value. *)
+          Poly.of_coeffs
+            [ weights v; (if entity v then Rat.one else Rat.zero) ]
+        | Circuit.Cnot x -> Poly.sub (ones_poly (scope_size g)) (go x)
+        | Circuit.Cand gs ->
+          (* decomposable: conditioning splits across disjoint scopes *)
+          List.fold_left (fun acc x -> Poly.mul acc (go x)) Poly.one gs
+        | Circuit.Cor (Circuit.Deterministic, gs) ->
+          List.fold_left
+            (fun acc x ->
+               Poly.add acc (smooth (go x) (scope_size x) (scope_size g)))
+            Poly.zero gs
+        | Circuit.Cor (Circuit.Disjoint, gs) ->
+          (* complement product over disjoint scopes *)
+          let non =
+            List.fold_left
+              (fun acc x ->
+                 Poly.mul acc
+                   (Poly.sub (ones_poly (scope_size x)) (go x)))
+              Poly.one gs
+          in
+          Poly.sub (ones_poly (scope_size g)) non
+      in
+      Hashtbl.replace memo g.id h;
+      h
+  in
+  go root
+
+let shap_score ~weights ~entity ~vars root =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Circuit.vars root) universe) then
+    invalid_arg "Prob.shap_score: universe misses circuit variables";
+  let sorted = List.sort compare vars in
+  let n = List.length sorted in
+  List.map
+    (fun i ->
+       (* H polynomials of F[X_i := e_i] and of the i-marginalized F, both
+          over the n−1 other variables. *)
+       let others_scope = n - 1 in
+       let poly_of b =
+         let c = Condition.restrict i b root in
+         let h = expectation_poly ~weights ~entity c in
+         Poly.mul h (ones_poly (others_scope - Vset.cardinal (Circuit.vars c)))
+       in
+       let h1 = poly_of true and h0 = poly_of false in
+       let h_ei = if entity i then h1 else h0 in
+       let p_i = weights i in
+       (* without i in S, X_i is random: mix the two restrictions *)
+       let h_mixed =
+         Poly.add (Poly.scale p_i h1)
+           (Poly.scale (Rat.sub Rat.one p_i) h0)
+       in
+       let value = ref Rat.zero in
+       for k = 0 to n - 1 do
+         let diff = Rat.sub (Poly.coeff h_ei k) (Poly.coeff h_mixed k) in
+         value :=
+           Rat.add !value (Rat.mul (Combi.shapley_coeff ~n k) diff)
+       done;
+       (i, !value))
+    sorted

@@ -1,0 +1,1 @@
+lib/core/circuit_shapley.ml: Array Bigint Bool Circuit Combi Condition Count Formula Kvec List Or_subst Rat Reductions Vset

@@ -1,0 +1,1 @@
+lib/core/circuit_shapley.mli: Bigint Circuit Formula Kvec Rat

@@ -1,0 +1,1 @@
+lib/core/identities.ml: Array Bigint Bool Brute Formula Kvec List Naive Rat Subst Vset

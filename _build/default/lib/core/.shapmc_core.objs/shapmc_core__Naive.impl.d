@@ -1,0 +1,1 @@
+lib/core/naive.ml: Bigint Bool Brute Combi Formula Hashtbl Kvec List Rat Vset

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Bigint Brute Compile Dpll Formula Kvec List Naive Prob Rat Reductions Subst Vset

@@ -1,0 +1,1 @@
+lib/core/power_indices.ml: Bigint Brute Circuit Combi Condition Count Formula List Rat Vset

@@ -1,0 +1,1 @@
+lib/core/power_indices.mli: Bigint Circuit Formula Rat

@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Array Bigint Combi Kvec Linalg Rat

@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Bool Formula List Random Vset

@@ -1,0 +1,100 @@
+type t = { players : int list; wealth : Vset.t -> Rat.t }
+
+let max_players = 10
+
+let make players wealth =
+  let sorted = List.sort_uniq compare players in
+  if List.length sorted <> List.length players then
+    invalid_arg "Game.make: duplicate players";
+  if List.length players > max_players then
+    invalid_arg "Game.make: too many players for exact computation";
+  { players = sorted; wealth }
+
+let of_formula ~vars f =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Formula.vars f) universe) then
+    invalid_arg "Game.of_formula: universe misses variables";
+  make vars (fun s -> if Formula.eval_set s f then Rat.one else Rat.zero)
+
+(* Iterate over all subsets of a player array. *)
+let fold_subsets players init step =
+  let arr = Array.of_list players in
+  let n = Array.length arr in
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    let s = ref Vset.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then s := Vset.add arr.(i) !s
+    done;
+    acc := step !acc !s
+  done;
+  !acc
+
+let shapley g =
+  let n = List.length g.players in
+  List.map
+    (fun i ->
+       let others = List.filter (fun p -> p <> i) g.players in
+       let value =
+         fold_subsets others Rat.zero (fun acc s ->
+             let k = Vset.cardinal s in
+             let marginal =
+               Rat.sub (g.wealth (Vset.add i s)) (g.wealth s)
+             in
+             Rat.add acc (Rat.mul (Combi.shapley_coeff ~n k) marginal))
+       in
+       (i, value))
+    g.players
+
+let banzhaf g =
+  let n = List.length g.players in
+  let denom = Rat.of_bigint (Combi.pow2 (n - 1)) in
+  List.map
+    (fun i ->
+       let others = List.filter (fun p -> p <> i) g.players in
+       let total =
+         fold_subsets others Rat.zero (fun acc s ->
+             Rat.add acc (Rat.sub (g.wealth (Vset.add i s)) (g.wealth s)))
+       in
+       (i, Rat.div total denom))
+    g.players
+
+let efficiency g =
+  let sum =
+    List.fold_left (fun acc (_, v) -> Rat.add acc v) Rat.zero (shapley g)
+  in
+  let grand = g.wealth (Vset.of_list g.players) in
+  let empty = g.wealth Vset.empty in
+  Rat.equal sum (Rat.sub grand empty)
+
+let interchangeable g i j =
+  let others = List.filter (fun p -> p <> i && p <> j) g.players in
+  fold_subsets others true (fun acc s ->
+      acc && Rat.equal (g.wealth (Vset.add i s)) (g.wealth (Vset.add j s)))
+
+let symmetry g i j =
+  if not (interchangeable g i j) then true
+  else begin
+    let shap = shapley g in
+    Rat.equal (List.assoc i shap) (List.assoc j shap)
+  end
+
+let is_dummy g i =
+  let others = List.filter (fun p -> p <> i) g.players in
+  fold_subsets others true (fun acc s ->
+      acc && Rat.equal (g.wealth (Vset.add i s)) (g.wealth s))
+
+let dummy g i =
+  if not (is_dummy g i) then true
+  else Rat.is_zero (List.assoc i (shapley g))
+
+let sum g h =
+  if g.players <> h.players then invalid_arg "Game.sum: player mismatch";
+  { players = g.players; wealth = (fun s -> Rat.add (g.wealth s) (h.wealth s)) }
+
+let linearity g h =
+  let s = shapley (sum g h) in
+  let sg = shapley g and sh = shapley h in
+  List.for_all
+    (fun (i, v) -> Rat.equal v (Rat.add (List.assoc i sg) (List.assoc i sh)))
+    s

@@ -1,0 +1,52 @@
+(** General cooperative games, connecting the paper's setting to Shapley's
+    original one [32, 30].
+
+    A (transferable-utility) game is a wealth function [v : 2^[n] → Q].
+    The paper's object is the special case [v = F] for a Boolean function
+    [F] — wealth 0 or 1.  This module computes Shapley and Banzhaf values
+    of arbitrary games by the definition, and exposes the classical
+    axioms as checkable predicates; the test suite verifies the axioms on
+    random games and that {!of_formula} reproduces
+    [Shapmc_core.Naive] exactly.  Exponential by nature (the game is
+    given by an oracle over [2^n] coalitions); capped at 10 players. *)
+
+type t = {
+  players : int list;  (** distinct player identifiers *)
+  wealth : Vset.t -> Rat.t;  (** defined on subsets of [players] *)
+}
+
+(** [make players wealth].  @raise Invalid_argument on duplicates or more
+    than 10 players. *)
+val make : int list -> (Vset.t -> Rat.t) -> t
+
+(** [of_formula ~vars f] is the Boolean game of the paper: wealth
+    [F[T]]. *)
+val of_formula : vars:int list -> Formula.t -> t
+
+(** [shapley g] — the original Eq. (1), with rational wealth. *)
+val shapley : t -> (int * Rat.t) list
+
+(** [banzhaf g] — raw Banzhaf value. *)
+val banzhaf : t -> (int * Rat.t) list
+
+(** {1 The Shapley axioms, as predicates} *)
+
+(** [efficiency g]: [Σ_i Shap(i) = v(N) − v(∅)] (Proposition 5 in the
+    paper's setting). *)
+val efficiency : t -> bool
+
+(** [symmetry g i j]: if [v(S∪{i}) = v(S∪{j})] for all [S] avoiding both,
+    then [Shap(i) = Shap(j)].  Returns [true] when the premise fails. *)
+val symmetry : t -> int -> int -> bool
+
+(** [dummy g i]: if [v(S∪{i}) = v(S)] for all [S], then [Shap(i) = 0].
+    Returns [true] when the premise fails. *)
+val dummy : t -> int -> bool
+
+(** [linearity g h]: Shapley of the sum game is the sum of the Shapley
+    values ([g] and [h] must share players). *)
+val linearity : t -> t -> bool
+
+(** [sum g h] is the pointwise-sum game.
+    @raise Invalid_argument unless the player lists agree. *)
+val sum : t -> t -> t

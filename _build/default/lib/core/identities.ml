@@ -1,0 +1,104 @@
+let rat_list_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+       (List.sort compare a) (List.sort compare b)
+
+let prop3 ~vars f =
+  rat_list_equal (Naive.shap_permutations ~vars f) (Naive.shap_subsets ~vars f)
+
+let prop5 ~vars f =
+  let shap = Naive.shap_subsets ~vars f in
+  let all = Vset.of_list vars in
+  let f1 = Bool.to_int (Formula.eval_set all f) in
+  let f0 = Bool.to_int (Formula.eval_set Vset.empty f) in
+  Rat.equal (Naive.shap_sum shap) (Rat.of_int (f1 - f0))
+
+let stratified ~vars f = Brute.count_by_size ~vars f
+
+let substituted_count subst ~l ~vars f =
+  let universe = Vset.of_list vars in
+  if not (Vset.equal universe (Formula.vars f)) then
+    (* The substitution replaces the variables of [f]; unused universe
+       variables would need explicit empty blocks, which the paper's
+       definition of F^(l) does not have.  Restrict to exact-universe
+       formulas. *)
+    invalid_arg "Identities: universe must equal vars of formula";
+  let g, blocks = subst ~l f in
+  let g_vars = List.concat_map snd blocks in
+  Brute.count ~vars:g_vars g
+
+let weighted ~weight_exp ~l ~vars f =
+  let n = List.length vars in
+  let kv = stratified ~vars f in
+  let w = Bigint.two_pow_minus_one l in
+  let acc = ref Bigint.zero in
+  for k = 0 to n do
+    acc :=
+      Bigint.add !acc (Bigint.mul (Bigint.pow w (weight_exp ~n ~k)) (Kvec.get kv k))
+  done;
+  !acc
+
+let claim35 ~l ~vars f =
+  Bigint.equal
+    (substituted_count (fun ~l f -> Subst.uniform_or ~l f) ~l ~vars f)
+    (weighted ~weight_exp:(fun ~n:_ ~k -> k) ~l ~vars f)
+
+let claim37 ~l ~vars f =
+  Bigint.equal
+    (substituted_count (fun ~l f -> Subst.uniform_and ~l f) ~l ~vars f)
+    (weighted ~weight_exp:(fun ~n ~k -> n - k) ~l ~vars f)
+
+let sums_of_differences ~vars f =
+  let n = List.length vars in
+  let sum1 = Array.make n Bigint.zero in
+  let sum0 = Array.make n Bigint.zero in
+  List.iter
+    (fun i ->
+       let others = List.filter (fun v -> v <> i) vars in
+       let k1 = stratified ~vars:others (Formula.restrict i true f) in
+       let k0 = stratified ~vars:others (Formula.restrict i false f) in
+       for k = 0 to n - 1 do
+         sum1.(k) <- Bigint.add sum1.(k) (Kvec.get k1 k);
+         sum0.(k) <- Bigint.add sum0.(k) (Kvec.get k0 k)
+       done)
+    vars;
+  (sum1, sum0)
+
+let eq7 ~vars f =
+  let n = List.length vars in
+  let kv = stratified ~vars f in
+  let sum1, _ = sums_of_differences ~vars f in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if not (Bigint.equal sum1.(k) (Bigint.mul_int (Kvec.get kv (k + 1)) (k + 1)))
+    then ok := false
+  done;
+  !ok
+
+let eq8 ~vars f =
+  let n = List.length vars in
+  let kv = stratified ~vars f in
+  let _, sum0 = sums_of_differences ~vars f in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if not (Bigint.equal sum0.(k) (Bigint.mul_int (Kvec.get kv k) (n - k)))
+    then ok := false
+  done;
+  !ok
+
+let claim36 ~vars f =
+  let n = List.length vars in
+  let kv = stratified ~vars f in
+  let sum1, sum0 = sums_of_differences ~vars f in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    let lhs = Bigint.sub sum1.(k) sum0.(k) in
+    let rhs =
+      Bigint.sub
+        (Bigint.mul_int (Kvec.get kv (k + 1)) (k + 1))
+        (Bigint.mul_int (Kvec.get kv k) (n - k))
+    in
+    if not (Bigint.equal lhs rhs) then ok := false
+  done;
+  !ok

@@ -1,0 +1,33 @@
+(** The paper's quantitative identities as executable checks.
+
+    Each function verifies one displayed equation of Sections 2–3 on a
+    concrete formula by brute force, returning [true] when the identity
+    holds.  They back the property-based tests and experiment E12; a
+    [false] from any of them on any input would falsify the corresponding
+    claim of the paper (none does). *)
+
+(** Proposition 3: the permutation definition Eq. (1) agrees with the
+    stratified-count form Eq. (2).  Capped at 8 variables. *)
+val prop3 : vars:int list -> Formula.t -> bool
+
+(** Proposition 5: [Σ_i Shap(F, X_i) = F(1) − F(0)]. *)
+val prop5 : vars:int list -> Formula.t -> bool
+
+(** Claim 3.5: [#F^(l) = Σ_k (2^l − 1)^k #_k F], with [F^(l)] built by
+    {!Shapmc_boolean.Subst.uniform_or} and both sides counted by brute
+    force.  Mind the blow-up: [F^(l)] has [n·l] variables. *)
+val claim35 : l:int -> vars:int list -> Formula.t -> bool
+
+(** Claim 3.7: the AND-substitution analogue
+    [#F^(l) = Σ_k (2^l − 1)^(n−k) #_k F]. *)
+val claim37 : l:int -> vars:int list -> Formula.t -> bool
+
+(** Claim 3.6: [Σ_i (#_k F[X_i:=1] − #_k F[X_i:=0])
+    = (k+1) #_{k+1} F − (n−k) #_k F] for every [k] in [0..n-1]. *)
+val claim36 : vars:int list -> Formula.t -> bool
+
+(** Equality (7): [Σ_i #_k F[X_i:=1] = (k+1) #_{k+1} F] for every [k]. *)
+val eq7 : vars:int list -> Formula.t -> bool
+
+(** Equality (8): [Σ_i #_k F[X_i:=0] = (n−k) #_k F] for every [k]. *)
+val eq8 : vars:int list -> Formula.t -> bool

@@ -1,0 +1,125 @@
+type count_oracle = {
+  oracle_name : string;
+  count : vars:int list -> Formula.t -> Bigint.t;
+}
+
+type shap_oracle = {
+  shap_name : string;
+  shap : vars:int list -> Formula.t -> (int * Rat.t) list;
+}
+
+let brute_count_oracle =
+  { oracle_name = "brute"; count = (fun ~vars f -> Brute.count ~vars f) }
+
+let dpll_count_oracle =
+  { oracle_name = "dpll"; count = (fun ~vars f -> Dpll.count_universe ~vars f) }
+
+let shap_oracle_of_subsets =
+  { shap_name = "eq2-subsets"; shap = (fun ~vars f -> Naive.shap_subsets ~vars f) }
+
+let sorted_universe ~vars f =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Formula.vars f) universe) then
+    invalid_arg "Pipeline: universe misses variables of the formula";
+  (universe, List.sort compare vars)
+
+(* Lemma 3.3 instantiated with formula OR-substitution. *)
+let kcounts_via_count_oracle ~oracle ~vars f =
+  let universe, sorted = sorted_universe ~vars f in
+  let n = List.length sorted in
+  Reductions.kcounts_via_counting ~n ~count_subst:(fun ~l ->
+      let g, blocks = Subst.uniform_or ~universe ~l f in
+      oracle.count ~vars:(List.concat_map snd blocks) g)
+
+(* Lemma 3.2 over Lemma 3.3: the full Shap(C) ≤P #~C chain.  Following the
+   proof, the #_*-oracle is consulted on the isomorphic copy ~F and on the
+   zapped functions ~F' rather than on F itself — both live in ~C. *)
+let shap_via_count_oracle ~oracle ~vars f =
+  let universe, sorted = sorted_universe ~vars f in
+  let n = List.length sorted in
+  let kcount_full =
+    let tilde_f, blocks = Subst.isomorphic_copy ~universe f in
+    kcounts_via_count_oracle ~oracle
+      ~vars:(List.concat_map snd blocks)
+      tilde_f
+  in
+  let kcount_drop pos =
+    let i = List.nth sorted pos in
+    let tilde_f', blocks =
+      Subst.zap ~universe ~zero:(Vset.singleton i) f
+    in
+    kcounts_via_count_oracle ~oracle
+      ~vars:(List.concat_map snd blocks)
+      tilde_f'
+  in
+  let values = Reductions.shap_via_kcounts ~n ~kcount_full ~kcount_drop in
+  List.mapi (fun pos i -> (i, values.(pos))) sorted
+
+(* Lemma 3.4: #C ≤P Shap(~C). *)
+let shap_subst_of_oracle ~oracle ~universe ~sorted f ~l ~pos =
+  let i = List.nth sorted pos in
+  let g, z, blocks = Subst.uniform_or_except ~universe ~l ~keep:i f in
+  let gvars = List.concat_map snd blocks in
+  match List.assoc_opt z (oracle.shap ~vars:gvars g) with
+  | Some v -> v
+  | None -> failwith "Pipeline: Shapley oracle did not report Z_i"
+
+let kcounts_via_shap_oracle ~oracle ~vars f =
+  let universe, sorted = sorted_universe ~vars f in
+  let n = List.length sorted in
+  let f_zero = Formula.eval_set Vset.empty f in
+  Reductions.kcounts_via_shap ~n ~f_zero
+    ~shap_subst:(shap_subst_of_oracle ~oracle ~universe ~sorted f)
+
+let count_via_shap_oracle ~oracle ~vars f =
+  Kvec.total (kcounts_via_shap_oracle ~oracle ~vars f)
+
+(* ------------------------------------------------------------------ *)
+(* The prior-work PQE route [13]: Shapley values from a probabilistic-
+   evaluation oracle instead of a counting oracle.  Same Lemma 3.2 core,
+   but the #_*-oracle is realized by interpolation on the uniform tuple
+   probability θ (Reductions.kcounts_via_probability) — no OR-substitution
+   involved.  This is the baseline the paper's open problem was about. *)
+
+type pqe_oracle = {
+  pqe_name : string;
+  prob : theta:Rat.t -> vars:int list -> Formula.t -> Rat.t;
+}
+
+(* Exact PQE via knowledge compilation: P(F) on the compiled circuit. *)
+let pqe_circuit_oracle =
+  {
+    pqe_name = "compiled-circuit";
+    prob =
+      (fun ~theta ~vars f ->
+         ignore vars;
+         (* free universe variables do not change the probability *)
+         Prob.probability ~weights:(fun _ -> theta) (Compile.compile f));
+  }
+
+let kcounts_via_pqe_oracle ~oracle ~vars f =
+  let _, sorted = sorted_universe ~vars f in
+  let n = List.length sorted in
+  Reductions.kcounts_via_probability ~n ~prob:(fun ~theta ->
+      oracle.prob ~theta ~vars f)
+
+let shap_via_pqe_oracle ~oracle ~vars f =
+  let _, sorted = sorted_universe ~vars f in
+  let n = List.length sorted in
+  let kcount_full = kcounts_via_pqe_oracle ~oracle ~vars f in
+  let kcount_drop pos =
+    let i = List.nth sorted pos in
+    let others = List.filter (fun v -> v <> i) sorted in
+    kcounts_via_pqe_oracle ~oracle ~vars:others (Formula.restrict i false f)
+  in
+  let values = Reductions.shap_via_kcounts ~n ~kcount_full ~kcount_drop in
+  List.mapi (fun pos i -> (i, values.(pos))) sorted
+
+let roundtrip_count ~vars f =
+  let inner =
+    {
+      shap_name = "shap-via-dpll-counting";
+      shap = (fun ~vars f -> shap_via_count_oracle ~oracle:dpll_count_oracle ~vars f);
+    }
+  in
+  count_via_shap_oracle ~oracle:inner ~vars f

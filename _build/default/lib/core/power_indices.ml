@@ -1,0 +1,34 @@
+let check ~vars vs =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset vs universe) then
+    invalid_arg "Power_indices: universe misses variables";
+  List.sort compare vars
+
+let of_diff ~n diff = Rat.make diff (Combi.pow2 (n - 1))
+
+let banzhaf_via_count_oracle ~count ~vars f =
+  let sorted = check ~vars (Formula.vars f) in
+  let n = List.length sorted in
+  List.map
+    (fun i ->
+       let others = List.filter (fun v -> v <> i) sorted in
+       let c1 = count ~vars:others (Formula.restrict i true f) in
+       let c0 = count ~vars:others (Formula.restrict i false f) in
+       (i, of_diff ~n (Bigint.sub c1 c0)))
+    sorted
+
+let banzhaf ~vars f =
+  banzhaf_via_count_oracle ~count:(fun ~vars f -> Brute.count ~vars f) ~vars f
+
+let banzhaf_circuit ~vars g =
+  let sorted = check ~vars (Circuit.vars g) in
+  let n = List.length sorted in
+  List.map
+    (fun i ->
+       let others = List.filter (fun v -> v <> i) sorted in
+       let c1 = Count.count ~vars:others (Condition.restrict i true g) in
+       let c0 = Count.count ~vars:others (Condition.restrict i false g) in
+       (i, of_diff ~n (Bigint.sub c1 c0)))
+    sorted
+
+let banzhaf_sum l = List.fold_left (fun acc (_, v) -> Rat.add acc v) Rat.zero l

@@ -1,0 +1,172 @@
+let or_points ~count =
+  Array.init count (fun idx -> Rat.of_bigint (Bigint.two_pow_minus_one (idx + 1)))
+
+(* Solve the Vandermonde system at nodes 2^l − 1 and return integer
+   unknowns; every solution in the paper's systems is an integer vector
+   (model counts), so a non-integer solution indicates an oracle bug. *)
+let solve_integer_vandermonde ~points ~values ~what =
+  let sol = Linalg.vandermonde_solve ~points ~values in
+  Array.map
+    (fun r ->
+       if not (Rat.is_integer r) then
+         failwith (what ^ ": non-integral solution (broken oracle?)");
+       Rat.to_bigint r)
+    sol
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.2 *)
+
+let shap_via_kcounts ~n ~kcount_full ~kcount_drop =
+  if Kvec.universe_size kcount_full <> n then
+    invalid_arg "shap_via_kcounts: full vector has wrong universe";
+  Array.init n (fun pos ->
+      let drop = kcount_drop pos in
+      if Kvec.universe_size drop <> n - 1 then
+        invalid_arg "shap_via_kcounts: drop vector has wrong universe";
+      let value = ref Rat.zero in
+      for k = 0 to n - 1 do
+        (* #_k F[X_i:=1] = #_{k+1} F − #_{k+1} F[X_i:=0], so the marginal
+           at size k is #_{k+1}F − #_{k+1}F[X_i:=0] − #_k F[X_i:=0]. *)
+        let term =
+          Bigint.sub
+            (Bigint.sub (Kvec.get kcount_full (k + 1)) (Kvec.get drop (k + 1)))
+            (Kvec.get drop k)
+        in
+        value := Rat.add !value (Rat.mul_bigint (Combi.shapley_coeff ~n k) term)
+      done;
+      !value)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.3 *)
+
+let kcounts_via_counting ~n ~count_subst =
+  let points = or_points ~count:(n + 1) in
+  let values =
+    Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))
+  in
+  let counts =
+    solve_integer_vandermonde ~points ~values ~what:"kcounts_via_counting"
+  in
+  Kvec.make ~n counts
+
+let kcounts_via_counting_and ~n ~count_subst =
+  (* Claim 3.7: #F^(l) = Σ_k (2^l−1)^{n−k} #_k F.  Substituting j = n−k
+     turns it into a standard Vandermonde system in y_j = #_{n−j} F. *)
+  let points = or_points ~count:(n + 1) in
+  let values =
+    Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))
+  in
+  let y =
+    solve_integer_vandermonde ~points ~values ~what:"kcounts_via_counting_and"
+  in
+  Kvec.make ~n (Array.init (n + 1) (fun k -> y.(n - k)))
+
+(* ------------------------------------------------------------------ *)
+(* Prior work [13]: fixed-size counts from probabilistic evaluation.
+
+   Under the product distribution with uniform tuple probability θ,
+   P_θ(F) = Σ_k #_k F · θ^k (1−θ)^{n−k}.  Dividing by (1−θ)^n gives a
+   polynomial in the odds ρ = θ/(1−θ) with coefficients #_k F, so n+1
+   evaluations at distinct probabilities recover the counts by
+   interpolation — the Deutch–Frost–Kimelfeld–Monet route from Shapley
+   values to PQE, implemented here as the historical baseline next to the
+   paper's OR-substitution route (Lemma 3.3). *)
+
+let kcounts_via_probability ~n ~prob =
+  let points =
+    Array.init (n + 1) (fun j ->
+        (* θ_j = (j+1)/(n+2) ∈ (0,1), pairwise distinct odds *)
+        let theta = Rat.of_ints (j + 1) (n + 2) in
+        Rat.div theta (Rat.sub Rat.one theta))
+  in
+  let values =
+    Array.init (n + 1) (fun j ->
+        let theta = Rat.of_ints (j + 1) (n + 2) in
+        let p = prob ~theta in
+        (* P_θ / (1−θ)^n *)
+        let rec pow r k = if k = 0 then Rat.one else Rat.mul r (pow r (k - 1)) in
+        Rat.div p (pow (Rat.sub Rat.one theta) n))
+  in
+  let sol = Linalg.vandermonde_solve ~points ~values in
+  Kvec.make ~n
+    (Array.map
+       (fun r ->
+          if not (Rat.is_integer r) then
+            failwith "kcounts_via_probability: non-integral count";
+          Rat.to_bigint r)
+       sol)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.4 *)
+
+(* Weight of the difference d_j = #_j F[X_i:=1] − #_j F[X_i:=0] in
+   Shap(F^(l,i), Z_i).
+
+   PROOF REPAIR (documented in DESIGN.md §"Lemma 3.4 repair"): the paper's
+   proof displays the weight (2^l−1)^j c_j, which evaluates Eq. (2) with
+   the coefficients of the *original* n variables; but F^(l,i) has
+   N = (n−1)l + 1 variables, and with the correct c_k^{(N)} the weight is
+
+     M[l,j] = ∫_0^1 (1−q^l)^j q^{l(n−1−j)} dq
+            = j! · l^j / Π_{a=n−1−j}^{n−1} (a·l + 1),
+
+   obtained from the Bernoulli-measure representation of the Shapley value
+   (each of the n−1 fresh blocks is "hit" independently with probability
+   1−(1−p)^l).  At l = 1 this reduces to c_j, as it must.  The matrix
+   (M[l,j])_{l=1..n, j=0..n−1} is still nonsingular: scaling row l by
+   l · Π_{a=0}^{n−1}(a + 1/l) makes column j a monic polynomial of degree
+   n−1−j in 1/l, and polynomials of pairwise distinct degrees evaluated at
+   distinct points 1/l form a nonsingular matrix.  So Lemma 3.4 holds with
+   the same oracle calls and a repaired linear system, solved here by
+   exact Gaussian elimination. *)
+let lemma34_weight ~n ~l ~j =
+  if j < 0 || j > n - 1 || l < 1 then invalid_arg "lemma34_weight";
+  let num = Bigint.mul (Combi.factorial j) (Bigint.pow (Bigint.of_int l) j) in
+  let den = ref Bigint.one in
+  for a = n - 1 - j to n - 1 do
+    den := Bigint.mul !den (Bigint.of_int ((a * l) + 1))
+  done;
+  Rat.make num !den
+
+(* Recover, for one variable position, the differences
+   d_j = #_j F[X_i:=1] − #_j F[X_i:=0] for j = 0..n−1 from the oracle
+   values Shap(F^(l,i), Z_i) = Σ_j M[l,j] d_j, l = 1..n. *)
+let differences_for_position ~n ~shap_subst ~pos =
+  let matrix =
+    Array.init n (fun row ->
+        Array.init n (fun j -> lemma34_weight ~n ~l:(row + 1) ~j))
+  in
+  let values = Array.init n (fun idx -> shap_subst ~l:(idx + 1) ~pos) in
+  match Linalg.gauss_solve matrix values with
+  | None -> failwith "count_via_shap: singular system (impossible)"
+  | Some d ->
+    Array.map
+      (fun r ->
+         if not (Rat.is_integer r) then
+           failwith "count_via_shap: non-integral difference (broken oracle?)";
+         Rat.to_bigint r)
+      d
+
+let kcounts_via_shap ~n ~f_zero ~shap_subst =
+  (* Claim 3.6: Σ_i d_k(i) = (k+1) #_{k+1} F − (n−k) #_k F; telescope from
+     #_0 F = F(0). *)
+  let sums = Array.make n Bigint.zero in
+  for pos = 0 to n - 1 do
+    let d = differences_for_position ~n ~shap_subst ~pos in
+    Array.iteri (fun k dk -> sums.(k) <- Bigint.add sums.(k) dk) d
+  done;
+  let counts = Array.make (n + 1) Bigint.zero in
+  counts.(0) <- (if f_zero then Bigint.one else Bigint.zero);
+  for k = 0 to n - 1 do
+    let numerator =
+      Bigint.add sums.(k) (Bigint.mul_int counts.(k) (n - k))
+    in
+    let q, r = Bigint.divmod numerator (Bigint.of_int (k + 1)) in
+    if not (Bigint.is_zero r) then
+      failwith "count_via_shap: telescoping failed (broken oracle?)";
+    counts.(k + 1) <- q
+  done;
+  Kvec.make ~n counts
+
+let count_via_shap ~n ~f_zero ~shap_subst =
+  Kvec.total (kcounts_via_shap ~n ~f_zero ~shap_subst)

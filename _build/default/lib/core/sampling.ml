@@ -1,0 +1,49 @@
+type estimate = { variable : int; value : float; half_width : float }
+
+let samples_for ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Sampling.samples_for";
+  (* marginals range over [-1, 1], width 2: m >= 2 ln(2/δ) / ε² *)
+  int_of_float (ceil (2.0 *. log (2.0 /. delta) /. (eps *. eps)))
+
+let shap_sample ?(seed = 0) ?(delta = 0.05) ~samples ~vars f =
+  if samples <= 0 then invalid_arg "Sampling.shap_sample: samples <= 0";
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Formula.vars f) universe) then
+    invalid_arg "Sampling.shap_sample: universe misses variables";
+  let st = Random.State.make [| seed |] in
+  let sorted = Array.of_list (List.sort compare vars) in
+  let n = Array.length sorted in
+  let totals = Array.make n 0 in
+  let perm = Array.copy sorted in
+  for _ = 1 to samples do
+    (* Fisher–Yates shuffle *)
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    (* walk the permutation, evaluating F on the growing prefix *)
+    let prefix = ref Vset.empty in
+    let value = ref (Formula.eval_set Vset.empty f) in
+    Array.iter
+      (fun v ->
+         let next = Vset.add v !prefix in
+         let value' = Formula.eval_set next f in
+         let marginal = Bool.to_int value' - Bool.to_int !value in
+         (* index of v in sorted *)
+         let rec idx i = if sorted.(i) = v then i else idx (i + 1) in
+         let i = idx 0 in
+         totals.(i) <- totals.(i) + marginal;
+         prefix := next;
+         value := value')
+      perm
+  done;
+  let m = float_of_int samples in
+  let half_width = 2.0 *. sqrt (log (2.0 /. delta) /. (2.0 *. m)) in
+  Array.to_list
+    (Array.mapi
+       (fun i v ->
+          { variable = sorted.(i); value = float_of_int v /. m; half_width })
+       totals)

@@ -1,0 +1,37 @@
+(** Monte-Carlo approximation of Shapley values.
+
+    The paper notes (contrasting with the SHAP score, which admits no
+    FPRAS even for positive bipartite DNF [3]) that the Shapley value in
+    the database setting has an FPRAS [21].  The standard estimator is
+    permutation sampling: draw random permutations, average each
+    variable's marginal contribution.  Each marginal lies in [[-1, 1]],
+    so Hoeffding's inequality gives a two-sided additive guarantee
+    [P(|estimate − Shap| > ε) ≤ δ] with
+    [m ≥ ln(2/δ) / (2 (ε/2)^2)] samples per variable (all variables are
+    estimated from the same permutations).
+
+    Estimates are floats — approximation is the one place in this library
+    where exactness is deliberately abandoned. *)
+
+type estimate = {
+  variable : int;
+  value : float;  (** the point estimate *)
+  half_width : float;  (** Hoeffding half-width at the requested [delta] *)
+}
+
+(** [shap_sample ~seed ~samples ~delta ~vars f] estimates all Shapley
+    values from [samples] random permutations.  [delta] is the per-variable
+    failure probability used for the reported half-width (default 0.05).
+    @raise Invalid_argument if [samples <= 0] or [vars] misses variables
+    of [f]. *)
+val shap_sample :
+  ?seed:int ->
+  ?delta:float ->
+  samples:int ->
+  vars:int list ->
+  Formula.t ->
+  estimate list
+
+(** [samples_for ~eps ~delta] is the Hoeffding sample bound for additive
+    error [eps] with failure probability [delta]. *)
+val samples_for : eps:float -> delta:float -> int

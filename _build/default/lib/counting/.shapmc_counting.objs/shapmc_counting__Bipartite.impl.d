@@ -1,0 +1,1 @@
+lib/counting/bipartite.ml: Array Bigint Combi Kvec List Nf Random

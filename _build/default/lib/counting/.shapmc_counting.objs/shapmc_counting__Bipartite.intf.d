@@ -1,0 +1,1 @@
+lib/counting/bipartite.mli: Bigint Formula Kvec Nf

@@ -1,0 +1,1 @@
+lib/counting/brute.ml: Array Bigint Formula Kvec Semantics Vset

@@ -1,0 +1,1 @@
+lib/counting/brute.mli: Bigint Formula Kvec

@@ -1,0 +1,1 @@
+lib/counting/dimacs.ml: Bigint Buffer List Nf Printf Rat String Vset

@@ -1,0 +1,1 @@
+lib/counting/dimacs.mli: Formula Nf Rat

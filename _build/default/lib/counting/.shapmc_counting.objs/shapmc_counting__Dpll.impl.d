@@ -1,0 +1,1 @@
+lib/counting/dpll.ml: Formula Hashtbl Kvec List Option Rat Vset

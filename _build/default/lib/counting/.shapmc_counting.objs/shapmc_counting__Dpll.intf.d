@@ -1,0 +1,1 @@
+lib/counting/dpll.mli: Bigint Formula Kvec Rat

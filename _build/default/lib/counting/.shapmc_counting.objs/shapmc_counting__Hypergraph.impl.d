@@ -1,0 +1,1 @@
+lib/counting/hypergraph.ml: List Nf Vset

@@ -1,0 +1,1 @@
+lib/counting/hypergraph.mli: Nf Vset

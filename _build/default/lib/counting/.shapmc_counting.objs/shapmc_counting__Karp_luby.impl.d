@@ -1,0 +1,1 @@
+lib/counting/karp_luby.ml: Array Bigint Combi Float List Nf Random Stdlib Vset

@@ -1,0 +1,1 @@
+lib/counting/karp_luby.mli: Nf

@@ -1,0 +1,1 @@
+lib/counting/kvec.ml: Array Bigint Combi Format

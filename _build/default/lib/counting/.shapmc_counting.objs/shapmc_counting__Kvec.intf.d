@@ -1,0 +1,1 @@
+lib/counting/kvec.mli: Bigint Format

@@ -1,0 +1,32 @@
+(** Brute-force model counting by exhaustive enumeration.
+
+    The reference oracle every other counter is tested against.  Counts are
+    relative to an explicit universe [vars], which may strictly contain the
+    variables of the formula (the paper's [#F] is over the [n] declared
+    variables).  Exponential: callers are limited to
+    {!Semantics.max_enum_vars} variables. *)
+
+(** [count ~vars f] is [#F] over the universe [vars]. *)
+let count ~vars f =
+  let vars = Array.of_list vars in
+  Semantics.fold_models ~vars f Bigint.zero (fun acc _ -> Bigint.succ acc)
+
+(** [count_by_size ~vars f] is the vector [#_{0..n} F] over [vars]. *)
+let count_by_size ~vars f =
+  let vars_a = Array.of_list vars in
+  let n = Array.length vars_a in
+  let counts = Array.make (n + 1) Bigint.zero in
+  let _ =
+    Semantics.fold_models ~vars:vars_a f ()
+      (fun () s ->
+         let k = Vset.cardinal s in
+         counts.(k) <- Bigint.succ counts.(k))
+  in
+  Kvec.make ~n counts
+
+(** [count_formula f] counts over exactly the variables of [f]. *)
+let count_formula f = count ~vars:(Vset.elements (Formula.vars f)) f
+
+(** [count_by_size_formula f] is {!count_by_size} over the variables of [f]. *)
+let count_by_size_formula f =
+  count_by_size ~vars:(Vset.elements (Formula.vars f)) f

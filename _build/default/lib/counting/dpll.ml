@@ -1,0 +1,186 @@
+type stats = { branches : int; cache_hits : int }
+
+(* Group a list of subformulas into variable-disjoint connected components
+   (iterated merging; the lists involved are small). *)
+let components fs =
+  let merge groups (vs, fs) =
+    let touching, rest =
+      List.partition (fun (ws, _) -> not (Vset.disjoint vs ws)) groups
+    in
+    let vs' = List.fold_left (fun a (ws, _) -> Vset.union a ws) vs touching in
+    let members = fs @ List.concat_map snd touching in
+    (vs', members) :: rest
+  in
+  List.fold_left merge [] (List.map (fun f -> (Formula.vars f, [ f ])) fs)
+
+(* Branching heuristic: a variable with the most occurrences. *)
+let pick_var f =
+  let occ = Hashtbl.create 16 in
+  let bump v =
+    Hashtbl.replace occ v (1 + Option.value ~default:0 (Hashtbl.find_opt occ v))
+  in
+  let rec go = function
+    | Formula.True | Formula.False -> ()
+    | Formula.Var v -> bump v
+    | Formula.Not g -> go g
+    | Formula.And gs | Formula.Or gs -> List.iter go gs
+  in
+  go f;
+  let best = ref None in
+  Hashtbl.iter
+    (fun v c ->
+       match !best with
+       | Some (_, c') when c' >= c -> ()
+       | _ -> best := Some (v, c))
+    occ;
+  match !best with Some (v, _) -> v | None -> invalid_arg "Dpll: no variable"
+
+type state = {
+  cache : (Formula.t, Kvec.t) Hashtbl.t;
+  mutable branches : int;
+  mutable cache_hits : int;
+}
+
+(* [kcount st f] is the size-stratified count vector of [f] over exactly
+   [vars f].  Plain counting reuses it via [Kvec.total]; keeping a single
+   recursion avoids subtle drift between the two counters. *)
+let rec kcount st f =
+  match f with
+  | Formula.True -> Kvec.const_true ~n:0
+  | Formula.False -> Kvec.const_false ~n:0
+  | Formula.Var _ -> Kvec.singleton_true
+  | Formula.Not g ->
+    (* Complement over the same variable set. *)
+    Kvec.complement (kcount st g)
+  | Formula.And _ | Formula.Or _ ->
+    (match Hashtbl.find_opt st.cache f with
+     | Some v ->
+       st.cache_hits <- st.cache_hits + 1;
+       v
+     | None ->
+       let v = kcount_compound st f in
+       Hashtbl.replace st.cache f v;
+       v)
+
+and kcount_compound st f =
+  let children = match f with
+    | Formula.And fs | Formula.Or fs -> fs
+    | _ -> assert false
+  in
+  match components children with
+  | ([] | [ _ ]) ->
+    (* Single component: Shannon-expand on a most-frequent variable. *)
+    let v = pick_var f in
+    let n = Vset.cardinal (Formula.vars f) in
+    st.branches <- st.branches + 1;
+    let branch bit shift_vec =
+      let g = Formula.restrict v bit f in
+      let ng = Vset.cardinal (Formula.vars g) in
+      let kv = Kvec.extend (kcount st g) ~extra:(n - 1 - ng) in
+      Kvec.conv kv shift_vec
+    in
+    Kvec.add
+      (branch false Kvec.singleton_false)
+      (branch true Kvec.singleton_true)
+  | groups ->
+    (* Variable-disjoint components: conjunction convolves, disjunction
+       multiplies non-model vectors. *)
+    let part (vs, members) =
+      let g = match f with
+        | Formula.And _ -> Formula.and_ members
+        | Formula.Or _ -> Formula.or_ members
+        | _ -> assert false
+      in
+      (* [and_]/[or_] cannot drop variables here: members are nonconstant
+         and mutually non-absorbing after smart construction. *)
+      Kvec.extend (kcount st g)
+        ~extra:(Vset.cardinal vs - Vset.cardinal (Formula.vars g))
+    in
+    let parts = List.map part groups in
+    (match f with
+     | Formula.And _ ->
+       List.fold_left Kvec.conv (Kvec.const_true ~n:0) parts
+     | Formula.Or _ ->
+       (* all − Π non-models *)
+       let non =
+         List.fold_left
+           (fun acc p -> Kvec.conv acc (Kvec.complement p))
+           (Kvec.const_true ~n:0) parts
+       in
+       Kvec.complement non
+     | _ -> assert false)
+
+let fresh_state () = { cache = Hashtbl.create 256; branches = 0; cache_hits = 0 }
+
+let count_by_size f =
+  let f = Formula.simplify f in
+  kcount (fresh_state ()) f
+
+let count f = Kvec.total (count_by_size f)
+
+let check_universe ~vars f =
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Formula.vars f) universe) then
+    invalid_arg "Dpll: universe misses variables of the formula";
+  List.length vars
+
+let count_by_size_universe ~vars f =
+  let n = check_universe ~vars f in
+  let base = count_by_size f in
+  Kvec.extend base ~extra:(n - Kvec.universe_size base)
+
+let count_universe ~vars f = Kvec.total (count_by_size_universe ~vars f)
+
+let count_with_stats f =
+  let st = fresh_state () in
+  let v = kcount st (Formula.simplify f) in
+  (Kvec.total v, { branches = st.branches; cache_hits = st.cache_hits })
+
+(* Weighted model counting: same search shape as [kcount], but the value
+   at each node is the probability over exactly [vars f] (eliminated
+   variables integrate out to factor 1, so no smoothing corrections are
+   needed — probabilities, unlike counts, are universe-independent). *)
+let wmc ~weights f =
+  let cache : (Formula.t, Rat.t) Hashtbl.t = Hashtbl.create 256 in
+  let rec go f =
+    match f with
+    | Formula.True -> Rat.one
+    | Formula.False -> Rat.zero
+    | Formula.Var v -> weights v
+    | Formula.Not g -> Rat.sub Rat.one (go g)
+    | Formula.And _ | Formula.Or _ ->
+      (match Hashtbl.find_opt cache f with
+       | Some p -> p
+       | None ->
+         let p = go_compound f in
+         Hashtbl.replace cache f p;
+         p)
+  and go_compound f =
+    let children = match f with
+      | Formula.And fs | Formula.Or fs -> fs
+      | _ -> assert false
+    in
+    match components children with
+    | ([] | [ _ ]) ->
+      let v = pick_var f in
+      let w = weights v in
+      Rat.add
+        (Rat.mul (Rat.sub Rat.one w) (go (Formula.restrict v false f)))
+        (Rat.mul w (go (Formula.restrict v true f)))
+    | groups ->
+      let part members = match f with
+        | Formula.And _ -> go (Formula.and_ members)
+        | Formula.Or _ -> go (Formula.or_ members)
+        | _ -> assert false
+      in
+      (match f with
+       | Formula.And _ ->
+         List.fold_left (fun acc (_, ms) -> Rat.mul acc (part ms)) Rat.one groups
+       | Formula.Or _ ->
+         Rat.sub Rat.one
+           (List.fold_left
+              (fun acc (_, ms) -> Rat.mul acc (Rat.sub Rat.one (part ms)))
+              Rat.one groups)
+       | _ -> assert false)
+  in
+  go (Formula.simplify f)

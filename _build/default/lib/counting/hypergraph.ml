@@ -1,0 +1,42 @@
+(* Greedy nest-point elimination.  A vertex is a nest point when its
+   incident edges are linearly ordered by inclusion; removing nest points
+   in any order is confluent for beta-acyclicity, so greedy suffices. *)
+
+let all_vertices edges =
+  List.fold_left Vset.union Vset.empty edges
+
+let is_chain edges =
+  let sorted =
+    List.sort (fun a b -> compare (Vset.cardinal a) (Vset.cardinal b)) edges
+  in
+  let rec go = function
+    | a :: (b :: _ as rest) -> Vset.subset a b && go rest
+    | _ -> true
+  in
+  go sorted
+
+let dedup edges =
+  List.sort_uniq Vset.compare (List.filter (fun e -> not (Vset.is_empty e)) edges)
+
+let is_beta_acyclic edges =
+  let rec loop edges =
+    let edges = dedup edges in
+    let vertices = all_vertices edges in
+    if Vset.is_empty vertices then true
+    else begin
+      let nest =
+        Vset.elements vertices
+        |> List.find_opt (fun v ->
+            is_chain (List.filter (fun e -> Vset.mem v e) edges))
+      in
+      match nest with
+      | None -> false
+      | Some v -> loop (List.map (Vset.remove v) edges)
+    end
+  in
+  loop edges
+
+let cnf_hypergraph cnf =
+  List.map (fun (c : Nf.clause) -> Vset.union c.Nf.pos c.Nf.neg) cnf
+
+let is_beta_acyclic_cnf cnf = is_beta_acyclic (cnf_hypergraph cnf)

@@ -1,0 +1,86 @@
+type estimate = {
+  value : float;
+  samples : int;
+  relative_half_width : float;
+}
+
+let sample_bound ~clauses ~eps ~delta =
+  if eps <= 0.0 || delta <= 0.0 || delta >= 1.0 || clauses <= 0 then
+    invalid_arg "Karp_luby.sample_bound";
+  int_of_float
+    (ceil (3.0 *. float_of_int clauses *. log (2.0 /. delta) /. (eps *. eps)))
+
+(* Uniform random Bigint in [0, bound): rejection sampling on bit blocks. *)
+let random_below st bound =
+  let bits = Bigint.bit_length bound in
+  let rec draw () =
+    let x = ref Bigint.zero in
+    let remaining = ref bits in
+    while !remaining > 0 do
+      (* Random.State.int needs bound < 2^30, so draw at most 29 bits *)
+      let take = Stdlib.min 29 !remaining in
+      x :=
+        Bigint.add
+          (Bigint.mul !x (Bigint.pow Bigint.two take))
+          (Bigint.of_int (Random.State.int st (1 lsl take)));
+      remaining := !remaining - take
+    done;
+    if Bigint.compare !x bound < 0 then !x else draw ()
+  in
+  draw ()
+
+let run ~seed ~samples ~vars d ~eps =
+  if d = [] || List.exists Vset.is_empty d then
+    invalid_arg "Karp_luby: constant DNF";
+  let universe = Vset.of_list vars in
+  if not (Vset.subset (Nf.pdnf_vars d) universe) then
+    invalid_arg "Karp_luby: universe misses clause variables";
+  let n = List.length vars in
+  let clauses = Array.of_list d in
+  let m = Array.length clauses in
+  (* cumulative coverage weights: w_i = 2^(n - |c_i|) *)
+  let cumulative = Array.make m Bigint.zero in
+  let total = ref Bigint.zero in
+  Array.iteri
+    (fun i c ->
+       total := Bigint.add !total (Combi.pow2 (n - Vset.cardinal c));
+       cumulative.(i) <- !total)
+    clauses;
+  let st = Random.State.make [| seed |] in
+  let free_vars =
+    Array.map (fun c -> Vset.elements (Vset.diff universe c)) clauses
+  in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    (* clause index by coverage weight *)
+    let r = random_below st !total in
+    let rec locate i = if Bigint.compare r cumulative.(i) < 0 then i else locate (i + 1) in
+    let i = locate 0 in
+    (* uniform model of clause i *)
+    let model = ref clauses.(i) in
+    List.iter
+      (fun v -> if Random.State.bool st then model := Vset.add v !model)
+      free_vars.(i);
+    (* is i the first satisfied clause? *)
+    let rec first j =
+      if j >= i then true
+      else if Vset.subset clauses.(j) !model then false
+      else first (j + 1)
+    in
+    if first 0 then incr hits
+  done;
+  {
+    value =
+      Bigint.to_float !total *. float_of_int !hits /. float_of_int samples;
+    samples;
+    relative_half_width = eps;
+  }
+
+let count ?(seed = 0) ~eps ~delta ~vars d =
+  let m = List.length d in
+  let samples = sample_bound ~clauses:m ~eps ~delta in
+  run ~seed ~samples ~vars d ~eps
+
+let count_samples ?(seed = 0) ~samples ~vars d =
+  if samples <= 0 then invalid_arg "Karp_luby.count_samples";
+  run ~seed ~samples ~vars d ~eps:Float.nan

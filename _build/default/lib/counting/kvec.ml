@@ -1,0 +1,78 @@
+(* The invariant throughout: [counts] has length [n + 1] and entry [k] is
+   the number of models of size [k] over an [n]-variable universe. *)
+
+type t = { n : int; counts : Bigint.t array }
+
+let make ~n counts =
+  if n < 0 then invalid_arg "Kvec.make: negative universe";
+  if Array.length counts <> n + 1 then invalid_arg "Kvec.make: length mismatch";
+  { n; counts = Array.copy counts }
+
+let universe_size v = v.n
+let get v k = if k < 0 || k > v.n then Bigint.zero else v.counts.(k)
+let to_array v = Array.copy v.counts
+
+let total v = Array.fold_left Bigint.add Bigint.zero v.counts
+
+let equal a b =
+  a.n = b.n
+  && begin
+    let ok = ref true in
+    Array.iteri
+      (fun i c -> if not (Bigint.equal c b.counts.(i)) then ok := false)
+      a.counts;
+    !ok
+  end
+
+let zero ~n = { n; counts = Array.make (n + 1) Bigint.zero }
+let all ~n = { n; counts = Array.init (n + 1) (fun k -> Combi.binomial n k) }
+let singleton_true = { n = 1; counts = [| Bigint.zero; Bigint.one |] }
+let singleton_false = { n = 1; counts = [| Bigint.one; Bigint.zero |] }
+let const_true ~n = all ~n
+let const_false ~n = zero ~n
+
+let conv a b =
+  let n = a.n + b.n in
+  let out = Array.make (n + 1) Bigint.zero in
+  for i = 0 to a.n do
+    if not (Bigint.is_zero a.counts.(i)) then
+      for j = 0 to b.n do
+        out.(i + j) <-
+          Bigint.add out.(i + j) (Bigint.mul a.counts.(i) b.counts.(j))
+      done
+  done;
+  { n; counts = out }
+
+let pointwise op a b =
+  if a.n <> b.n then invalid_arg "Kvec: universe-size mismatch";
+  { n = a.n; counts = Array.mapi (fun i c -> op c b.counts.(i)) a.counts }
+
+let add a b = pointwise Bigint.add a b
+let sub a b = pointwise Bigint.sub a b
+
+let extend v ~extra =
+  if extra < 0 then invalid_arg "Kvec.extend: negative"
+  else if extra = 0 then v
+  else conv v (all ~n:extra)
+
+let complement v = sub (all ~n:v.n) v
+
+let disjoint_or a b =
+  (* Non-models multiply across disjoint universes. *)
+  let non_a = complement a and non_b = complement b in
+  sub (all ~n:(a.n + b.n)) (conv non_a non_b)
+
+let weighted_sum v w =
+  (* Horner from the top coefficient. *)
+  let acc = ref Bigint.zero in
+  for k = v.n downto 0 do
+    acc := Bigint.add (Bigint.mul !acc w) v.counts.(k)
+  done;
+  !acc
+
+let pp ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Bigint.pp)
+    (Array.to_list v.counts)

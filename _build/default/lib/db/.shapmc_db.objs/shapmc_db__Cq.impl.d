@@ -1,0 +1,1 @@
+lib/db/cq.ml: Array Database Format Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/db/cq.mli: Database Format Value

@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Format Hashtbl List Printf Set Stdlib Value Vset

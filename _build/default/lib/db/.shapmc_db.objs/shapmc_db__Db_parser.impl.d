@@ -1,0 +1,1 @@
+lib/db/db_parser.ml: Array Cq Database List Printf String Value

@@ -1,0 +1,1 @@
+lib/db/db_parser.mli: Cq Database

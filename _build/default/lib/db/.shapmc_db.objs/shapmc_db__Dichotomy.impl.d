@@ -1,0 +1,1 @@
+lib/db/dichotomy.ml: Circuit_shapley Compile Count Cq Database Lineage Naive Safe_plan Vset

@@ -1,0 +1,1 @@
+lib/db/dichotomy.mli: Bigint Cq Database Rat

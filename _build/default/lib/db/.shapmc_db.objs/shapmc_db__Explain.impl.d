@@ -1,0 +1,1 @@
+lib/db/explain.ml: Array Cq Database Dichotomy Format Lineage List Rat String Value

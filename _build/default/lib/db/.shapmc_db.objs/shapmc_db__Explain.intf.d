@@ -1,0 +1,1 @@
+lib/db/explain.mli: Cq Database Dichotomy Format Rat Value

@@ -1,0 +1,1 @@
+lib/db/hardness.ml: Bipartite Circuit_shapley Compile Database Formula Lineage List Rat Reductions Stretch Value Vset

@@ -1,0 +1,1 @@
+lib/db/hardness.mli: Bigint Bipartite Cq Database Rat

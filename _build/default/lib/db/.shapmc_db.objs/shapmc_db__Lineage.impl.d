@@ -1,0 +1,1 @@
+lib/db/lineage.ml: Array Cq Database Formula List Nf Option Value Vset

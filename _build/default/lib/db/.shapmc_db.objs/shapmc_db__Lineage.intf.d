@@ -1,0 +1,1 @@
+lib/db/lineage.mli: Cq Database Formula Nf Value Vset

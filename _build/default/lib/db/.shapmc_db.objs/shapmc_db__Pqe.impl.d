@@ -1,0 +1,1 @@
+lib/db/pqe.ml: Compile Database Dichotomy Lineage Pipeline Prob Safe_plan Vset

@@ -1,0 +1,1 @@
+lib/db/pqe.mli: Cq Database Rat

@@ -1,0 +1,1 @@
+lib/db/provenance.ml: Array Bigint Cq Database Format Formula Int List Map Rat Stdlib Value

@@ -1,0 +1,1 @@
+lib/db/provenance.mli: Bigint Cq Database Format Formula Rat

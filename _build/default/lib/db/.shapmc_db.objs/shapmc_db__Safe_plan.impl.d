@@ -1,0 +1,1 @@
+lib/db/safe_plan.ml: Array Circuit Circuit_shapley Cq Database Hashtbl Lineage List Obdd Set Value Vset

@@ -1,0 +1,1 @@
+lib/db/safe_plan.mli: Circuit Cq Database Obdd Rat

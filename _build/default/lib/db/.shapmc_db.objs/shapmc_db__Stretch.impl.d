@@ -1,0 +1,1 @@
+lib/db/stretch.ml: Array Cq Database Fresh List Printf Value

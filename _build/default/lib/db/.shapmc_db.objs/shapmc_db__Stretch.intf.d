@@ -1,0 +1,1 @@
+lib/db/stretch.mli: Cq Database Subst

@@ -1,0 +1,1 @@
+lib/db/ucq.ml: Circuit Circuit_shapley Compile Cq Database Lineage List Nf Prob Safe_plan Vset

@@ -1,0 +1,1 @@
+lib/db/ucq.mli: Cq Database Formula Nf Rat

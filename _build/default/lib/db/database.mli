@@ -1,0 +1,68 @@
+(** Databases with endogenous and exogenous relations (Section 5.1).
+
+    Endogenous tuples are the players: each carries a distinct Boolean
+    lineage variable [v(t)]; exogenous tuples are facts taken for granted
+    and contribute no variable.  A database is a mutable builder — create,
+    declare relations, insert tuples — plus read-only accessors used by
+    lineage construction, stretching and the safe-plan evaluator. *)
+
+type kind =
+  | Endogenous
+  | Exogenous
+
+type t
+
+(** One stored tuple: its values and, for endogenous relations, its
+    lineage variable. *)
+type stored = { values : Value.t array; lvar : int option }
+
+val create : unit -> t
+
+(** [declare db name ~kind ~arity] declares a fresh relation.
+    @raise Invalid_argument if [name] is already declared or [arity < 0]. *)
+val declare : t -> string -> kind:kind -> arity:int -> unit
+
+(** [insert db name values] inserts a tuple, assigning the next lineage
+    variable when the relation is endogenous; returns that variable.
+    Duplicate tuples are rejected (set semantics).
+    @raise Invalid_argument on arity mismatch, unknown relation or
+    duplicate. *)
+val insert : t -> string -> Value.t array -> int option
+
+(** [insert_with_var db name values ~lvar] inserts an endogenous tuple
+    with an explicit lineage variable (used by the Appendix B database
+    transformations, which must preserve variable identity).
+    @raise Invalid_argument if [lvar] is already used. *)
+val insert_with_var : t -> string -> Value.t array -> lvar:int -> unit
+
+(** [kind_of db name] / [arity_of db name].
+    @raise Not_found for unknown relations. *)
+val kind_of : t -> string -> kind
+
+val arity_of : t -> string -> int
+
+(** [relation_names db] in declaration order. *)
+val relation_names : t -> string list
+
+(** [tuples db name] in insertion order. *)
+val tuples : t -> string -> stored list
+
+(** [mem db name values] tests tuple presence. *)
+val mem : t -> string -> Value.t array -> bool
+
+(** [active_domain db] is the set (sorted, deduplicated) of all values
+    occurring anywhere. *)
+val active_domain : t -> Value.t list
+
+(** [lineage_vars db] is the set of all lineage variables, i.e. the
+    variable universe of any lineage over [db]. *)
+val lineage_vars : t -> Vset.t
+
+(** [tuple_of_var db v] retrieves the endogenous tuple carrying variable
+    [v].  @raise Not_found if no such tuple. *)
+val tuple_of_var : t -> int -> string * Value.t array
+
+(** [copy db] is an independent deep copy (same lineage variables). *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit

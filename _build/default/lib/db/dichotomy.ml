@@ -1,0 +1,43 @@
+type classification =
+  | Hierarchical
+  | Non_hierarchical of string * string
+  | Has_self_joins
+  | Has_negation
+
+type solver = Safe_plan_circuit | Compiled_dnf
+
+let classify q =
+  if not (Cq.is_positive q) then Has_negation
+  else if not (Cq.is_self_join_free q) then Has_self_joins
+  else begin
+    match Cq.witness_non_hierarchical q with
+    | None -> Hierarchical
+    | Some (x, y) -> Non_hierarchical (x, y)
+  end
+
+let compiled_circuit db q =
+  let f = Lineage.lineage_formula db q in
+  Compile.compile f
+
+let shapley db q =
+  let universe = Vset.elements (Database.lineage_vars db) in
+  match classify q with
+  | Hierarchical ->
+    (Circuit_shapley.shap_direct ~vars:universe (Safe_plan.lineage_circuit db q),
+     Safe_plan_circuit)
+  | Non_hierarchical _ | Has_self_joins | Has_negation ->
+    (Circuit_shapley.shap_direct ~vars:universe (compiled_circuit db q),
+     Compiled_dnf)
+
+let shapley_brute db q =
+  let universe = Vset.elements (Database.lineage_vars db) in
+  Naive.shap_subsets ~vars:universe (Lineage.lineage_formula db q)
+
+let count_models db q =
+  let universe = Vset.elements (Database.lineage_vars db) in
+  match classify q with
+  | Hierarchical ->
+    (Count.count ~vars:universe (Safe_plan.lineage_circuit db q),
+     Safe_plan_circuit)
+  | Non_hierarchical _ | Has_self_joins | Has_negation ->
+    (Count.count ~vars:universe (compiled_circuit db q), Compiled_dnf)

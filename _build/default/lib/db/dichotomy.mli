@@ -1,0 +1,35 @@
+(** The dichotomy solver (Theorem 5.1).
+
+    Classifies a self-join-free CQ and dispatches Shapley computation:
+    hierarchical queries go through the polynomial safe-plan circuit
+    (tractable side); non-hierarchical ones fall back to compiling the
+    lineage DNF with the general d-DNNF compiler — correct on every input
+    but exponential in the worst case, as Theorem 5.1's hardness side says
+    any correct algorithm must be (unless FP = #P). *)
+
+type classification =
+  | Hierarchical  (** Shapley computation in FP *)
+  | Non_hierarchical of string * string
+      (** witness pair of variables violating the hierarchy condition *)
+  | Has_self_joins  (** outside the dichotomy's scope *)
+  | Has_negation
+      (** negated atoms: outside the Theorem 5.1 dichotomy (cf. Reshef et
+          al. [29]); solved by compilation *)
+
+type solver =
+  | Safe_plan_circuit
+  | Compiled_dnf
+
+val classify : Cq.t -> classification
+
+(** [shapley db q] computes the Shapley value of every endogenous tuple
+    (keyed by lineage variable), reporting which solver ran. *)
+val shapley : Database.t -> Cq.t -> (int * Rat.t) list * solver
+
+(** [shapley_brute db q] is the exponential Eq. (2) reference on the
+    lineage, for cross-checking (capped at 26 tuples). *)
+val shapley_brute : Database.t -> Cq.t -> (int * Rat.t) list
+
+(** [count_models db q] is [#F_{Q,D}] over all endogenous tuples, via the
+    same dispatch. *)
+val count_models : Database.t -> Cq.t -> Bigint.t * solver

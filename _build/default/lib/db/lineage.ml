@@ -1,0 +1,121 @@
+(* Backtracking join: process atoms left to right, maintaining a partial
+   assignment of query variables; at each atom, scan the relation for
+   tuples consistent with the assignment. *)
+
+let matches env (a : Cq.atom) (s : Database.stored) =
+  let bind acc i =
+    match acc with
+    | None -> None
+    | Some env ->
+      (match a.args.(i) with
+       | Cq.C v -> if Value.equal v s.values.(i) then Some env else None
+       | Cq.V x ->
+         (match List.assoc_opt x env with
+          | Some v -> if Value.equal v s.values.(i) then Some env else None
+          | None -> Some ((x, s.values.(i)) :: env)))
+  in
+  let rec go acc i =
+    if i >= Array.length a.args then acc else go (bind acc i) (i + 1)
+  in
+  go (Some env) 0
+
+let assignments db q =
+  Cq.check_against q db;
+  if not (Cq.is_positive q) then
+    invalid_arg "Lineage.assignments: query has negated atoms";
+  let out = ref [] in
+  let rec search env used = function
+    | [] -> out := (env, used) :: !out
+    | (a : Cq.atom) :: rest ->
+      List.iter
+        (fun (s : Database.stored) ->
+           match matches env a s with
+           | None -> ()
+           | Some env' ->
+             let used' =
+               match s.lvar with
+               | Some v -> Vset.add v used
+               | None -> used
+             in
+             search env' used' rest)
+        (Database.tuples db a.rel)
+  in
+  search [] Vset.empty q.atoms;
+  List.rev_map (fun (env, used) -> (List.rev env, used)) !out
+
+let lineage db q =
+  List.sort_uniq Vset.compare (List.map snd (assignments db q))
+
+(* Ground a negated atom under a full assignment and report its effect:
+   [None] kills the assignment (present exogenous tuple), [Some None] is
+   vacuous (absent tuple), [Some (Some v)] contributes literal ¬v. *)
+let negated_effect db env (a : Cq.atom) =
+  let values =
+    Array.map
+      (function
+        | Cq.C v -> v
+        | Cq.V x ->
+          (match List.assoc_opt x env with
+           | Some v -> v
+           | None ->
+             invalid_arg
+               "Lineage: unsafe negation (variable not bound positively)"))
+      a.args
+  in
+  let row =
+    List.find_opt
+      (fun (s : Database.stored) -> s.values = values)
+      (Database.tuples db a.rel)
+  in
+  match (row, Database.kind_of db a.rel) with
+  | None, _ -> Some None
+  | Some _, Database.Exogenous -> None
+  | Some s, Database.Endogenous -> Some (Some (Option.get s.lvar))
+
+let lineage_clauses db q =
+  Cq.check_against q db;
+  let positive, negated =
+    List.partition (fun (a : Cq.atom) -> not a.Cq.negated) q.Cq.atoms
+  in
+  let out = ref [] in
+  let rec search env used = function
+    | [] ->
+      (* extend the clause with the negated atoms' literals *)
+      let rec extend neg = function
+        | [] ->
+          if Vset.disjoint used neg then
+            out := { Nf.pos = used; Nf.neg } :: !out
+        | a :: rest ->
+          (match negated_effect db env a with
+           | None -> () (* exogenous blocker: assignment dies *)
+           | Some None -> extend neg rest
+           | Some (Some v) -> extend (Vset.add v neg) rest)
+      in
+      extend Vset.empty negated
+    | (a : Cq.atom) :: rest ->
+      List.iter
+        (fun (s : Database.stored) ->
+           match matches env a s with
+           | None -> ()
+           | Some env' ->
+             let used' =
+               match s.lvar with
+               | Some v -> Vset.add v used
+               | None -> used
+             in
+             search env' used' rest)
+        (Database.tuples db a.rel)
+  in
+  if positive = [] then invalid_arg "Lineage: no positive atoms";
+  search [] Vset.empty positive;
+  (* dedupe on canonical element lists (polymorphic compare is not stable
+     on balanced-tree set internals) *)
+  let key (c : Nf.clause) = (Vset.elements c.Nf.pos, Vset.elements c.Nf.neg) in
+  List.sort_uniq (fun a b -> compare (key a) (key b)) !out
+
+let lineage_formula db q =
+  if Cq.is_positive q then Nf.pdnf_to_formula (lineage db q)
+  else Nf.dnf_to_formula (lineage_clauses db q)
+
+let boolean_answer db q =
+  Formula.eval (fun _ -> true) (lineage_formula db q)

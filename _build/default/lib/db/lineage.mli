@@ -1,0 +1,42 @@
+(** Lineage of a Boolean CQ over a database (Section 5.1).
+
+    The lineage [F_{Q,D}] is the positive DNF over the lineage variables of
+    the endogenous tuples: one clause per satisfying assignment of the
+    query variables, containing the variables of the endogenous tuples the
+    assignment uses (exogenous tuples contribute [true], missing tuples
+    kill the assignment).  Computed by a backtracking join rather than the
+    definitional [adom^{|x|}] enumeration — same function, polynomial data
+    complexity with a small constant. *)
+
+(** [lineage db q] is [F_{Q,D}] as a positive DNF (clauses deduplicated,
+    not otherwise minimized — per the definition, one clause per
+    assignment, so absorbing clauses may coexist; use
+    [Nf.pdnf_minimize] for the minimal form).
+    @raise Invalid_argument if [q] does not match the schema of [db] or
+    contains negated atoms (use {!lineage_clauses}). *)
+val lineage : Database.t -> Cq.t -> Nf.pdnf
+
+(** [lineage_clauses db q] is the general lineage as a DNF with positive
+    and negative literals, supporting safely negated atoms
+    (Reshef–Kimelfeld–Livshits): a satisfying assignment contributes the
+    positive literals of the endogenous tuples its positive atoms use and
+    the negative literals of the endogenous tuples its negated atoms must
+    avoid; assignments whose negated atom hits a present exogenous tuple,
+    and internally contradictory clauses, are dropped.  For positive
+    queries this coincides with {!lineage}.
+    @raise Invalid_argument on schema mismatch or unsafe negation (a
+    negated atom with a variable bound by no positive atom). *)
+val lineage_clauses : Database.t -> Cq.t -> Nf.clause list
+
+(** [lineage_formula db q] is the lineage as a formula ([false] when no
+    assignment satisfies [q], [true] when one uses only exogenous
+    tuples). *)
+val lineage_formula : Database.t -> Cq.t -> Formula.t
+
+(** [boolean_answer db q] is [Q(D)] with all endogenous tuples present. *)
+val boolean_answer : Database.t -> Cq.t -> bool
+
+(** [assignments db q] lists the satisfying assignments (variable,
+    value) with the endogenous variables each uses — for explanation
+    output. *)
+val assignments : Database.t -> Cq.t -> ((string * Value.t) list * Vset.t) list

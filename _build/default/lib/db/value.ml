@@ -1,0 +1,24 @@
+(** Database values.
+
+    Plain integers and strings cover ordinary databases; [VPair] provides
+    the composite values used by the Appendix B.1.2 construction, which
+    folds a stretched attribute pair [(z1, x)] back into a single value of
+    [Dom(z1) × Dom(x)] when showing [C_~Q ⊆ C_Q] (Claim 5.2). *)
+
+type t =
+  | VInt of int
+  | VStr of string
+  | VPair of t * t
+
+let compare = Stdlib.compare
+let equal = Stdlib.( = )
+
+let rec pp ppf = function
+  | VInt i -> Format.pp_print_int ppf i
+  | VStr s -> Format.pp_print_string ppf s
+  | VPair (a, b) -> Format.fprintf ppf "(%a,%a)" pp a pp b
+
+let to_string v = Format.asprintf "%a" pp v
+let int i = VInt i
+let str s = VStr s
+let pair a b = VPair (a, b)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bigint Bipartite Database Format Formula Hardness Kvec List Nf Parser QCheck QCheck_alcotest Rat String Value Vset

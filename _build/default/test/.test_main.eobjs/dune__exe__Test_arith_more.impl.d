@@ -1,0 +1,1 @@
+test/test_arith_more.ml: Alcotest Array Bigint Combi Gen Helpers Linalg List Poly Printf QCheck Rat Reductions

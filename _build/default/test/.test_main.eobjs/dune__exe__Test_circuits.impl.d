@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Bigint Brute Circuit Compile Condition Count Formula Helpers Kvec Or_subst Parser QCheck Subst Vset

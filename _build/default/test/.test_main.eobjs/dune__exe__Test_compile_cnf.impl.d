@@ -1,0 +1,1 @@
+test/test_compile_cnf.ml: Alcotest Bigint Circuit Circuit_shapley Compile Compile_cnf Count Dimacs Dpll Formula Fun Helpers List Naive Nf Parser QCheck Rat Vset

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bigint Brute Circuit_shapley Combi Compile Count Dpll Formula Helpers Identities Kvec List Naive Obdd Parser Pipeline QCheck Rat Reductions Subst Vset

@@ -1,0 +1,1 @@
+test/test_counting.ml: Alcotest Array Bigint Bipartite Brute Dpll Float Formula Helpers Karp_luby Kvec List Nf Parser QCheck Vset

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Circuit_shapley Compile Database Db_parser Formula Helpers Hypergraph List Naive Nf Parser Printf Prob QCheck Random Rat Read_once Semantics Ucq Vset

@@ -1,0 +1,1 @@
+test/test_formula.ml: Alcotest Brute Formula Helpers Kvec List Nf Parser QCheck Semantics String Subst Vset

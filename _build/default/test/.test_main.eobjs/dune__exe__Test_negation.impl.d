@@ -1,0 +1,1 @@
+test/test_negation.ml: Alcotest Array Cq Database Db_parser Dichotomy Formula Helpers Lineage List Parser QCheck Random Rat Safe_plan Semantics Value Vset

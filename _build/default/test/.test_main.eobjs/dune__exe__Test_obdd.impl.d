@@ -1,0 +1,1 @@
+test/test_obdd.ml: Alcotest Array Bigint Brute Circuit Formula Helpers Kvec List Obdd Parser QCheck Semantics Vset

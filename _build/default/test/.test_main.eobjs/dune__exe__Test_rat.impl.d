@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Helpers List QCheck Rat

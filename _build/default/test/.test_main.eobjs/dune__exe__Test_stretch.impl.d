@@ -1,0 +1,1 @@
+test/test_stretch.ml: Alcotest Array Bigint Bipartite Cq Database Db_parser Formula Hardness Hashtbl Helpers Lineage List Parser Printf QCheck Random Semantics Stretch Subst Value

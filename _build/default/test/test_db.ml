@@ -1,0 +1,409 @@
+(** Tests for the database layer: storage, queries, lineage, safe plans
+    and the dichotomy solver. *)
+
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+let bi = Bigint.of_int
+let r = Rat.of_ints
+
+let database_tests =
+  [ t "declare and insert" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:2;
+        let v = Database.insert db "R" [| Value.int 1; Value.int 2 |] in
+        Alcotest.(check (option int)) "var 1" (Some 1) v;
+        Alcotest.(check bool) "mem" true
+          (Database.mem db "R" [| Value.int 1; Value.int 2 |]);
+        Alcotest.(check bool) "tuple_of_var" true
+          (Database.tuple_of_var db 1 = ("R", [| Value.int 1; Value.int 2 |])));
+    t "exogenous tuples carry no variable" (fun () ->
+        let db = Database.create () in
+        Database.declare db "S" ~kind:Database.Exogenous ~arity:1;
+        Alcotest.(check (option int)) "none" None
+          (Database.insert db "S" [| Value.int 1 |]));
+    t "duplicate tuples rejected" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Database.insert db "R" [| Value.int 1 |]);
+             false
+           with Invalid_argument _ -> true));
+    t "arity mismatch rejected" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:2;
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Database.insert db "R" [| Value.int 1 |]);
+             false
+           with Invalid_argument _ -> true));
+    t "lineage_vars and active domain" (fun () ->
+        let db = example13_db () in
+        Alcotest.check vset "4 vars" (Vset.of_list [ 1; 2; 3; 4 ])
+          (Database.lineage_vars db);
+        Alcotest.(check int) "adom" 2 (List.length (Database.active_domain db)));
+    t "insert_with_var rejects reuse" (fun () ->
+        let db = example13_db () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Database.insert_with_var db "R1" [| Value.int 9 |] ~lvar:1;
+             false
+           with Invalid_argument _ -> true))
+  ]
+
+let cq_tests =
+  [ t "variables in order" (fun () ->
+        let q = Db_parser.parse_query "R(x, y), S(y, z)" in
+        Alcotest.(check (list string)) "xyz" [ "x"; "y"; "z" ] (Cq.variables q));
+    t "at" (fun () ->
+        let q = Db_parser.parse_query "R(x), S(x, y), T(y)" in
+        Alcotest.(check (list int)) "at(x)" [ 0; 1 ] (Cq.at q "x");
+        Alcotest.(check (list int)) "at(y)" [ 1; 2 ] (Cq.at q "y"));
+    t "q0 is non-hierarchical, stretched q0 is hierarchical... not" (fun () ->
+        (* Lemma 15: stretching preserves (non-)hierarchy. *)
+        let q0 = Stretch.q0 () in
+        Alcotest.(check bool) "q0 non-hier" false (Cq.is_hierarchical q0);
+        let q0s, _ =
+          Stretch.stretch_query ~is_endogenous:(fun n -> n <> "S") q0
+        in
+        Alcotest.(check bool) "stretched still non-hier" false
+          (Cq.is_hierarchical q0s));
+    t "hierarchical examples" (fun () ->
+        List.iter
+          (fun (s, expected) ->
+             Alcotest.(check bool) s expected
+               (Cq.is_hierarchical (Db_parser.parse_query s)))
+          [ ("R(x), S(x, y)", true);
+            ("R(x), S(x, y), T(y)", false);
+            ("R(x, y), S(x), T(x, y, z)", true);
+            ("R(x), S(y)", true);
+            ("R(x, y), S(y, z), T(z, x)", false) ]);
+    t "self-join detection" (fun () ->
+        Alcotest.(check bool) "sjf" true
+          (Cq.is_self_join_free (Db_parser.parse_query "R(x), S(x)"));
+        Alcotest.(check bool) "self-join" false
+          (Cq.is_self_join_free (Db_parser.parse_query "R(x), R(y)")));
+    t "constants are not variables" (fun () ->
+        let q = Db_parser.parse_query "R(x, 3)" in
+        Alcotest.(check (list string)) "only x" [ "x" ] (Cq.variables q))
+  ]
+
+let lineage_tests =
+  [ t "example 13 lineage" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(x), R2(x)" in
+        let f = Lineage.lineage_formula db q in
+        (* (Y1 ∧ Y3) ∨ (Y2 ∧ Y4) with vars 1..4 *)
+        Alcotest.(check bool) "equiv" true
+          (Semantics.equivalent f
+             (Parser.formula_of_string_exn "x1 & x3 | x2 & x4")));
+    t "exogenous tuples vanish from lineage" (fun () ->
+        let db = Database.create () in
+        Stretch.declare_q0_schema db;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        ignore (Database.insert db "T" [| Value.int 2 |]);
+        ignore (Database.insert db "S" [| Value.int 1; Value.int 2 |]);
+        let f = Lineage.lineage_formula db (Stretch.q0 ()) in
+        Alcotest.(check bool) "x1 & x2" true
+          (Semantics.equivalent f (Parser.formula_of_string_exn "x1 & x2")));
+    t "missing tuples kill assignments" (fun () ->
+        let db = Database.create () in
+        Stretch.declare_q0_schema db;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        ignore (Database.insert db "T" [| Value.int 2 |]);
+        (* no S tuple: lineage is false *)
+        Alcotest.(check bool) "false" true
+          (Lineage.lineage db (Stretch.q0 ()) = []);
+        Alcotest.(check bool) "no answer" false
+          (Lineage.boolean_answer db (Stretch.q0 ())));
+    t "constants in query filter tuples" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(1)" in
+        let f = Lineage.lineage_formula db q in
+        Alcotest.(check bool) "just x1" true
+          (Semantics.equivalent f (Formula.var 1)));
+    t "self-join uses the same variable twice" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        let q = Db_parser.parse_query "R(x), R(y)" in
+        (* single tuple: both atoms map to it; clause = {x1} *)
+        let f = Lineage.lineage_formula db q in
+        Alcotest.(check bool) "x1" true (Semantics.equivalent f (Formula.var 1)));
+    t "lineage of query with repeated variable in atom" (fun () ->
+        let db = Database.create () in
+        Database.declare db "E" ~kind:Database.Endogenous ~arity:2;
+        ignore (Database.insert db "E" [| Value.int 1; Value.int 1 |]);
+        ignore (Database.insert db "E" [| Value.int 1; Value.int 2 |]);
+        let q = Db_parser.parse_query "E(x, x)" in
+        let f = Lineage.lineage_formula db q in
+        Alcotest.(check bool) "only the loop" true
+          (Semantics.equivalent f (Formula.var 1)))
+  ]
+
+let gen_q0_inst =
+  QCheck.make
+    ~print:(fun (a, b, seed) -> Printf.sprintf "a=%d b=%d seed=%d" a b seed)
+    QCheck.Gen.(
+      let* a = int_range 1 3 in
+      let* b = int_range 1 3 in
+      let* seed = int_range 0 99999 in
+      return (a, b, seed))
+
+let safe_plan_tests =
+  [ t "rejects non-hierarchical queries" (fun () ->
+        let db, q = random_q0_db ~a:2 ~b:2 ~density:0.5 ~seed:7 in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Safe_plan.lineage_circuit db q);
+             false
+           with Safe_plan.Not_safe _ -> true));
+    t "rejects self-joins" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(x), R1(y)" in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Safe_plan.lineage_circuit db q);
+             false
+           with Safe_plan.Not_safe _ -> true));
+    t "example 13 safe plan matches brute force" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(x), R2(x)" in
+        check_shap "match"
+          (Dichotomy.shapley_brute db q)
+          (Safe_plan.shapley db q));
+    t "hierarchical chain query" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+        List.iter (fun i -> ignore (Database.insert db "R" [| Value.int i |])) [ 1; 2 ];
+        List.iter
+          (fun (x, y) ->
+             ignore (Database.insert db "S" [| Value.int x; Value.int y |]))
+          [ (1, 1); (1, 2); (2, 1) ];
+        let q = Db_parser.parse_query "R(x), S(x, y)" in
+        let c = Safe_plan.lineage_circuit db q in
+        Alcotest.(check bool) "equiv lineage" true
+          (Circuit.equivalent_formula ~max_vars:10 c
+             (Lineage.lineage_formula db q));
+        check_shap "shapley" (Dichotomy.shapley_brute db q) (Safe_plan.shapley db q));
+    qtest "safe plan = brute force on random hierarchical DBs" ~count:25
+      gen_q0_inst
+      (fun (a, b, seed) ->
+         (* hierarchical query R(x), S(x,y) over random S *)
+         let st = Random.State.make [| seed |] in
+         let db = Database.create () in
+         Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+         Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+         for i = 0 to a - 1 do
+           ignore (Database.insert db "R" [| Value.int i |])
+         done;
+         for i = 0 to a - 1 do
+           for j = 0 to b - 1 do
+             if Random.State.bool st then
+               ignore (Database.insert db "S" [| Value.int i; Value.int j |])
+           done
+         done;
+         let q = Db_parser.parse_query "R(x), S(x, y)" in
+         let reference = Dichotomy.shapley_brute db q in
+         let got = Safe_plan.shapley db q in
+         List.for_all2
+           (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+           reference got)
+  ]
+
+let constant_plan_tests =
+  [ t "safe plan handles constants in the query" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+        List.iter (fun i -> ignore (Database.insert db "R" [| Value.int i |])) [ 1; 2 ];
+        List.iter
+          (fun (x, y) ->
+             ignore (Database.insert db "S" [| Value.int x; Value.int y |]))
+          [ (1, 3); (1, 4); (2, 3) ];
+        (* pin y to the constant 3 *)
+        let q = Db_parser.parse_query "R(x), S(x, 3)" in
+        check_shap "matches brute force"
+          (Dichotomy.shapley_brute db q)
+          (Safe_plan.shapley db q));
+    t "fully ground query" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        ignore (Database.insert db "R" [| Value.int 2 |]);
+        let q = Db_parser.parse_query "R(1)" in
+        let shap = Safe_plan.shapley db q in
+        (* F = x1 over universe {x1, x2} *)
+        Alcotest.check rat "x1 = 1" Rat.one (List.assoc 1 shap);
+        Alcotest.check rat "x2 dummy" Rat.zero (List.assoc 2 shap));
+    t "query over an empty relation" (fun () ->
+        let db = Database.create () in
+        Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+        Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        let q = Db_parser.parse_query "R(x), S(x, y)" in
+        (* S empty: lineage false; every Shapley value 0 *)
+        let shap = Safe_plan.shapley db q in
+        List.iter (fun (_, v) -> Alcotest.check rat "zero" Rat.zero v) shap)
+  ]
+
+(* A hierarchical database whose lineage is ⋁_i (r_i ∧ (⋁_j s_ij)):
+   linear OBDD under the plan order, exponential under a bad order. *)
+let block_db ~blocks ~per_block =
+  let db = Database.create () in
+  Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+  Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+  for i = 1 to blocks do
+    ignore (Database.insert db "R" [| Value.int i |])
+  done;
+  for i = 1 to blocks do
+    for j = 1 to per_block do
+      ignore (Database.insert db "S" [| Value.int i; Value.int j |])
+    done
+  done;
+  db
+
+let obdd_order_tests =
+  [ t "plan order keeps the OBDD linear" (fun () ->
+        let db = block_db ~blocks:6 ~per_block:2 in
+        let q = Db_parser.parse_query "R(x), S(x, y)" in
+        let m, o = Safe_plan.lineage_obdd db q in
+        let n = Vset.cardinal (Database.lineage_vars db) in
+        (* linear bound with small constant *)
+        Alcotest.(check bool) "small" true (Obdd.size o <= (4 * n) + 2);
+        (* counting through the OBDD agrees with the circuit counter *)
+        let vars = Vset.elements (Database.lineage_vars db) in
+        Alcotest.check bigint "same count"
+          (Count.count ~vars (Safe_plan.lineage_circuit db q))
+          (Obdd.count m ~vars o));
+    t "interleaving-hostile order blows up" (fun () ->
+        let db = block_db ~blocks:6 ~per_block:2 in
+        let q = Db_parser.parse_query "R(x), S(x, y)" in
+        (* bad order: all R variables first, then all S variables *)
+        let all = Vset.elements (Database.lineage_vars db) in
+        let r_vars, s_vars =
+          List.partition (fun v -> fst (Database.tuple_of_var db v) = "R") all
+        in
+        let bad = Obdd.create_manager ~order:(r_vars @ s_vars) in
+        let o_bad = Obdd.of_formula bad (Lineage.lineage_formula db q) in
+        let _, o_good = Safe_plan.lineage_obdd db q in
+        Alcotest.(check bool) "bad >> good" true
+          (Obdd.size o_bad > 3 * Obdd.size o_good));
+    t "order covers all lineage variables" (fun () ->
+        let db = block_db ~blocks:3 ~per_block:2 in
+        (* add an S tuple never joined (dangling) — still in the order *)
+        ignore (Database.insert db "S" [| Value.int 99; Value.int 1 |]);
+        let q = Db_parser.parse_query "R(x), S(x, y)" in
+        let order = Safe_plan.obdd_order db q in
+        Alcotest.check vset "all vars"
+          (Database.lineage_vars db)
+          (Vset.of_list order))
+  ]
+
+let dichotomy_tests =
+  [ t "classification" (fun () ->
+        Alcotest.(check bool) "hier" true
+          (Dichotomy.classify (Db_parser.parse_query "R(x), S(x, y)")
+           = Dichotomy.Hierarchical);
+        (match Dichotomy.classify (Stretch.q0 ()) with
+         | Dichotomy.Non_hierarchical (x, y) ->
+           Alcotest.(check bool) "witness" true
+             ((x, y) = ("x", "y") || (x, y) = ("y", "x"))
+         | _ -> Alcotest.fail "expected non-hierarchical");
+        Alcotest.(check bool) "self-join" true
+          (Dichotomy.classify (Db_parser.parse_query "R(x), R(y)")
+           = Dichotomy.Has_self_joins));
+    qtest "dichotomy solver = brute force (q0, both branches)" ~count:20
+      gen_q0_inst
+      (fun (a, b, seed) ->
+         let db, q = random_q0_db ~a ~b ~density:0.5 ~seed in
+         let got, solver = Dichotomy.shapley db q in
+         let reference = Dichotomy.shapley_brute db q in
+         solver = Dichotomy.Compiled_dnf
+         && List.for_all2
+              (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+              reference got);
+    qtest "count_models agrees with DPLL" ~count:20 gen_q0_inst
+      (fun (a, b, seed) ->
+         let db, q = random_q0_db ~a ~b ~density:0.5 ~seed in
+         let got, _ = Dichotomy.count_models db q in
+         let universe = Vset.elements (Database.lineage_vars db) in
+         Bigint.equal got
+           (Dpll.count_universe ~vars:universe (Lineage.lineage_formula db q)))
+  ]
+
+let explain_tests =
+  [ t "self-join queries solved via compilation" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(x), R1(y)" in
+        let got, solver = Dichotomy.shapley db q in
+        Alcotest.(check bool) "compiled" true (solver = Dichotomy.Compiled_dnf);
+        check_shap "matches brute" (Dichotomy.shapley_brute db q) got);
+    t "explain report is ranked and sums per Prop. 5" (fun () ->
+        let db = example13_db () in
+        let q = Db_parser.parse_query "R1(x), R2(x)" in
+        let report = Explain.explain db q in
+        Alcotest.(check bool) "answer" true report.Explain.answer;
+        Alcotest.(check bool) "safe plan" true
+          (report.Explain.solver = Dichotomy.Safe_plan_circuit);
+        Alcotest.check rat "sum 1" Rat.one (Explain.total report);
+        (* ranking is decreasing *)
+        let rec decreasing = function
+          | (a : Explain.entry) :: (b :: _ as rest) ->
+            Rat.compare a.Explain.value b.Explain.value >= 0 && decreasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "sorted" true (decreasing report.Explain.entries);
+        Alcotest.(check int) "top 2" 2 (List.length (Explain.top_k report 2)));
+    t "explain on a false answer" (fun () ->
+        let db = Database.create () in
+        Stretch.declare_q0_schema db;
+        ignore (Database.insert db "R" [| Value.int 1 |]);
+        ignore (Database.insert db "T" [| Value.int 2 |]);
+        let report = Explain.explain db (Stretch.q0 ()) in
+        Alcotest.(check bool) "no answer" false report.Explain.answer;
+        Alcotest.check rat "sum 0" Rat.zero (Explain.total report))
+  ]
+
+let parser_tests =
+  [ t "full file format" (fun () ->
+        let text =
+          "# demo\n\
+           rel R endo 1\n\
+           row R 1\n\
+           row R 2\n\
+           rel S exo 2\n\
+           row S 1 7\n\
+           rel T endo 1\n\
+           row T 7\n\
+           query R(x), S(x, y), T(y)\n"
+        in
+        let db, q = Db_parser.parse_string text in
+        Alcotest.(check int) "3 rels" 3 (List.length (Database.relation_names db));
+        Alcotest.(check bool) "answer" true (Lineage.boolean_answer db q));
+    t "string values and quoting" (fun () ->
+        let text = "rel R endo 1\nrow R alice\nquery R('alice')" in
+        let db, q = Db_parser.parse_string text in
+        Alcotest.(check bool) "answer" true (Lineage.boolean_answer db q));
+    t "errors carry line numbers" (fun () ->
+        List.iter
+          (fun text ->
+             Alcotest.(check bool) "raises" true
+               (try
+                  ignore (Db_parser.parse_string text);
+                  false
+                with Invalid_argument msg ->
+                  String.length msg >= 9 && String.sub msg 0 9 = "Db_parser"))
+          [ "bogus line\nquery R(x)";
+            "rel R endo xyz\nquery R(x)";
+            "row R 1\nquery R(x)";
+            "rel R endo 1\nrow R 1" (* no query *) ])
+  ]
+
+let suite =
+  database_tests @ cq_tests @ lineage_tests @ safe_plan_tests
+  @ constant_plan_tests @ obdd_order_tests @ dichotomy_tests
+  @ explain_tests @ parser_tests

@@ -1,0 +1,224 @@
+(** Tests for the formula AST, smart constructors, substitutions, the
+    parser and normal forms. *)
+
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+let v = Formula.var
+let parse = Parser.formula_of_string_exn
+
+let smart_constructor_tests =
+  [ t "constants fold" (fun () ->
+        Alcotest.check formula "and [] = 1" Formula.tru (Formula.and_ []);
+        Alcotest.check formula "or [] = 0" Formula.fls (Formula.or_ []);
+        Alcotest.check formula "and absorbs 0" Formula.fls
+          (Formula.and_ [ v 1; Formula.fls ]);
+        Alcotest.check formula "or absorbs 1" Formula.tru
+          (Formula.or_ [ v 1; Formula.tru ]);
+        Alcotest.check formula "and drops 1" (v 1)
+          (Formula.and_ [ Formula.tru; v 1 ]);
+        Alcotest.check formula "or drops 0" (v 1)
+          (Formula.or_ [ Formula.fls; v 1 ]));
+    t "double negation" (fun () ->
+        Alcotest.check formula "!!x = x" (v 1) (Formula.not_ (Formula.not_ (v 1)));
+        Alcotest.check formula "!1 = 0" Formula.fls (Formula.not_ Formula.tru));
+    t "flattening" (fun () ->
+        match Formula.and_ [ Formula.conj2 (v 1) (v 2); v 3 ] with
+        | Formula.And [ _; _; _ ] -> ()
+        | f -> Alcotest.failf "expected flat And, got %a" Formula.pp f);
+    t "size per paper definition" (fun () ->
+        (* x1 & (x2 | !x3): 3 vars + 1 not + 2 connectives = 6 *)
+        Alcotest.(check int) "|F|" 6 (Formula.size example2_formula));
+    t "vars" (fun () ->
+        Alcotest.check vset "vars" (Vset.of_list [ 1; 2; 3 ])
+          (Formula.vars example2_formula));
+    t "restrict eliminates variable" (fun () ->
+        let f = Formula.restrict 1 true example2_formula in
+        Alcotest.(check bool) "gone" false (Vset.mem 1 (Formula.vars f));
+        Alcotest.check formula "F[x1:=0] = 0" Formula.fls
+          (Formula.restrict 1 false example2_formula))
+  ]
+
+let eval_tests =
+  [ t "example 2 models" (fun () ->
+        let models =
+          Semantics.models ~vars:[| 1; 2; 3 |] example2_formula
+        in
+        let expected =
+          [ Vset.of_list [ 1 ]; Vset.of_list [ 1; 2 ]; Vset.of_list [ 1; 2; 3 ] ]
+        in
+        Alcotest.(check int) "count" 3 (List.length models);
+        List.iter2
+          (fun a b -> Alcotest.check vset "model" a b)
+          expected
+          (List.sort Vset.compare models));
+    t "equivalence" (fun () ->
+        Alcotest.(check bool) "de morgan" true
+          (Semantics.equivalent
+             (parse "!(x1 & x2)")
+             (parse "!x1 | !x2"));
+        Alcotest.(check bool) "not equiv" false
+          (Semantics.equivalent (parse "x1") (parse "x2")));
+    t "tautology / satisfiable" (fun () ->
+        Alcotest.(check bool) "taut" true (Semantics.tautology (parse "x1 | !x1"));
+        Alcotest.(check bool) "unsat" false
+          (Semantics.satisfiable (parse "x1 & !x1")));
+    t "width cap" (fun () ->
+        let big = Formula.and_ (List.init 30 (fun i -> v (i + 1))) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Semantics.equivalent big big);
+             false
+           with Invalid_argument _ -> true))
+  ]
+
+let subst_tests =
+  [ t "or substitution example from Def 1" (fun () ->
+        (* F = X1 ∧ (X2 ∨ ¬X3), X2 := Z1 ∨ Z2 *)
+        let g, blocks =
+          Subst.or_subst
+            ~widths:(fun v -> if v = 2 then 2 else 1)
+            example2_formula
+        in
+        Alcotest.(check int) "3 blocks" 3 (List.length blocks);
+        let z2 = List.assoc 2 blocks in
+        Alcotest.(check int) "width 2" 2 (List.length z2);
+        (* new variable count: 1 + 2 + 1 *)
+        Alcotest.(check int) "vars" 4 (Vset.cardinal (Formula.vars g)));
+    t "width zero maps to false" (fun () ->
+        let g, _ = Subst.zap ~zero:(Vset.singleton 1) example2_formula in
+        (* F[X1 := empty disjunction] = 0 *)
+        Alcotest.check formula "false" Formula.fls g);
+    t "isomorphic copy preserves counts" (fun () ->
+        let g, blocks = Subst.isomorphic_copy example2_formula in
+        let gvars = List.concat_map snd blocks in
+        Alcotest.check bigint "#F"
+          (Brute.count ~vars:example2_vars example2_formula)
+          (Brute.count ~vars:gvars g));
+    t "universe variables get blocks" (fun () ->
+        let g, blocks =
+          Subst.uniform_or ~universe:(Vset.of_list [ 1; 2; 3; 4 ]) ~l:2 (v 1)
+        in
+        Alcotest.(check int) "4 blocks" 4 (List.length blocks);
+        Alcotest.(check int) "g mentions only x1's block" 2
+          (Vset.cardinal (Formula.vars g)));
+    t "universe must cover formula" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Subst.uniform_or ~universe:(Vset.singleton 9) ~l:1 (v 1));
+             false
+           with Invalid_argument _ -> true));
+    qtest "or-subst width 1 is isomorphism (same counts)" ~count:60
+      (arb_formula ~nvars:5 ~depth:4)
+      (fun f ->
+         let vars = Vset.elements (Formula.vars f) in
+         QCheck.assume (vars <> []);
+         let g, blocks = Subst.isomorphic_copy f in
+         let gvars = List.concat_map snd blocks in
+         Kvec.equal
+           (Brute.count_by_size ~vars f)
+           (Brute.count_by_size ~vars:gvars g));
+    qtest "restrict = width-0 block" ~count:60 (arb_formula ~nvars:4 ~depth:4)
+      (fun f ->
+         let vars = Formula.vars f in
+         QCheck.assume (not (Vset.is_empty vars));
+         let i = Vset.min_elt vars in
+         let zapped, blocks = Subst.zap ~zero:(Vset.singleton i) f in
+         let gvars = List.concat_map snd blocks in
+         let restricted = Formula.restrict i false f in
+         (* zapped is an isomorphic copy of restricted; counts agree *)
+         Kvec.equal
+           (Brute.count_by_size ~vars:gvars zapped)
+           (Brute.count_by_size
+              ~vars:(Vset.elements (Vset.remove i vars))
+              restricted))
+  ]
+
+let parser_tests =
+  [ t "parses example 2" (fun () ->
+        Alcotest.check formula "roundtrip" example2_formula
+          (parse "x1 & (x2 | !x3)"));
+    t "precedence: and binds tighter" (fun () ->
+        Alcotest.(check bool) "equiv" true
+          (Semantics.equivalent (parse "x1 | x2 & x3")
+             (parse "x1 | (x2 & x3)")));
+    t "alternative operators" (fun () ->
+        Alcotest.(check bool) "equiv" true
+          (Semantics.equivalent (parse "x1 * x2 + ~x3") (parse "x1 & x2 | !x3")));
+    t "named identifiers intern in order" (fun () ->
+        let f, names = Parser.formula_of_string "alice & bob | alice" in
+        Alcotest.(check int) "two names" 2 (List.length names);
+        Alcotest.(check bool) "alice is 1" true
+          (List.assoc 1 names = "alice");
+        Alcotest.(check bool) "uses var 1" true (Vset.mem 1 (Formula.vars f)));
+    t "x-numbered identifiers keep their index" (fun () ->
+        let f = parse "x7 & x3" in
+        Alcotest.check vset "vars" (Vset.of_list [ 3; 7 ]) (Formula.vars f));
+    t "constants" (fun () ->
+        Alcotest.check formula "1 & x1" (v 1) (parse "1 & x1");
+        Alcotest.check formula "0 | 0" Formula.fls (parse "0 | 0"));
+    t "errors are reported with position" (fun () ->
+        List.iter
+          (fun s ->
+             Alcotest.(check bool) s true
+               (try
+                  ignore (parse s);
+                  false
+                with Invalid_argument msg ->
+                  String.length msg > 0 && String.sub msg 0 6 = "Parser"))
+          [ ""; "x1 &"; "(x1"; "x1 x2"; "x1 @ x2"; ")" ]);
+    qtest "pp/parse roundtrip is equivalence-preserving" ~count:80
+      (arb_formula ~nvars:5 ~depth:4)
+      (fun f ->
+         let s = Formula.to_string f in
+         Semantics.equivalent f (parse s))
+  ]
+
+let nf_tests =
+  [ t "pdnf of formula" (fun () ->
+        let d = Nf.formula_to_pdnf (parse "x1 & (x2 | x3)") in
+        Alcotest.(check int) "clauses" 2 (List.length d);
+        Alcotest.(check bool) "equiv" true
+          (Semantics.equivalent (Nf.pdnf_to_formula d) (parse "x1 & (x2 | x3)")));
+    t "pdnf rejects negation" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Nf.formula_to_pdnf (parse "!x1"));
+             false
+           with Invalid_argument _ -> true));
+    t "pdnf minimize absorbs" (fun () ->
+        let d = [ Vset.of_list [ 1 ]; Vset.of_list [ 1; 2 ]; Vset.of_list [ 1 ] ] in
+        Alcotest.(check int) "one clause" 1 (List.length (Nf.pdnf_minimize d)));
+    t "bipartite encoding separates parts" (fun () ->
+        let d, left, right = Nf.bipartite ~edges:[ (0, 0); (1, 2) ] in
+        Alcotest.(check int) "clauses" 2 (List.length d);
+        Alcotest.(check bool) "parity" true
+          (left 5 mod 2 = 0 && right 5 mod 2 = 1));
+    t "clause overlap rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Nf.clause ~pos:[ 1 ] ~neg:[ 1 ]);
+             false
+           with Invalid_argument _ -> true));
+    t "cnf and dnf to formula" (fun () ->
+        let c = Nf.clause ~pos:[ 1 ] ~neg:[ 2 ] in
+        Alcotest.(check bool) "cnf" true
+          (Semantics.equivalent (Nf.cnf_to_formula [ c ]) (parse "x1 | !x2"));
+        Alcotest.(check bool) "dnf" true
+          (Semantics.equivalent (Nf.dnf_to_formula [ c ]) (parse "x1 & !x2")));
+    qtest "pdnf conversion preserves semantics" ~count:60
+      (arb_pdnf ~nvars:5 ~clauses:4)
+      (fun d ->
+         let f = Nf.pdnf_to_formula d in
+         QCheck.assume (Nf.is_positive f);
+         Semantics.equivalent f (Nf.pdnf_to_formula (Nf.formula_to_pdnf f)));
+    qtest "pdnf_eval agrees with formula eval" ~count:60
+      (QCheck.pair (arb_pdnf ~nvars:5 ~clauses:4)
+         (QCheck.make QCheck.Gen.(list_size (int_range 0 5) (int_range 1 5))))
+      (fun (d, s) ->
+         let s = Vset.of_list s in
+         Nf.pdnf_eval d s = Formula.eval_set s (Nf.pdnf_to_formula d))
+  ]
+
+let suite =
+  smart_constructor_tests @ eval_tests @ subst_tests @ parser_tests @ nf_tests

@@ -1,0 +1,19 @@
+(** Aggregated test runner; each module contributes one Alcotest suite. *)
+
+let () =
+  Alcotest.run "shapmc"
+    [ ("bigint", Test_bigint.suite);
+      ("rat", Test_rat.suite);
+      ("arith", Test_arith_more.suite);
+      ("formula", Test_formula.suite);
+      ("counting", Test_counting.suite);
+      ("circuits", Test_circuits.suite);
+      ("obdd", Test_obdd.suite);
+      ("core", Test_core.suite);
+      ("db", Test_db.suite);
+      ("stretch", Test_stretch.suite);
+      ("prob", Test_prob.suite);
+      ("extensions", Test_extensions.suite);
+      ("formats", Test_formats.suite);
+      ("negation", Test_negation.suite);
+      ("cnf-compiler", Test_compile_cnf.suite) ]

@@ -1,0 +1,127 @@
+(** Tests for the OBDD package. *)
+
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+let bi = Bigint.of_int
+let parse = Parser.formula_of_string_exn
+
+let mgr vars = Obdd.create_manager ~order:vars
+
+let unit_tests =
+  [ t "canonicity: equivalence is pointer equality" (fun () ->
+        let m = mgr [ 1; 2 ] in
+        let a = Obdd.of_formula m (parse "x1 & x2 | !x1 & x2") in
+        let b = Obdd.of_formula m (parse "x2") in
+        Alcotest.(check bool) "equal" true (Obdd.equal a b));
+    t "tautology reduces to leaf" (fun () ->
+        let m = mgr [ 1 ] in
+        Alcotest.(check bool) "true leaf" true
+          (Obdd.is_true (Obdd.of_formula m (parse "x1 | !x1"))));
+    t "duplicate order rejected" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (mgr [ 1; 1 ]);
+             false
+           with Invalid_argument _ -> true));
+    t "variable outside order rejected" (fun () ->
+        let m = mgr [ 1 ] in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Obdd.var m 5);
+             false
+           with Invalid_argument _ -> true));
+    t "example 2 count" (fun () ->
+        let m = mgr example2_vars in
+        let o = Obdd.of_formula m example2_formula in
+        Alcotest.check bigint "3" (bi 3) (Obdd.count m ~vars:example2_vars o);
+        Alcotest.check kvec "kvec"
+          (Brute.count_by_size ~vars:example2_vars example2_formula)
+          (Obdd.count_by_size m ~vars:example2_vars o));
+    t "count with unconstrained universe vars" (fun () ->
+        let m = mgr [ 1; 2; 3 ] in
+        let o = Obdd.of_formula m (parse "x2") in
+        Alcotest.check bigint "4" (bi 4) (Obdd.count m ~vars:[ 1; 2; 3 ] o));
+    t "restrict" (fun () ->
+        let m = mgr example2_vars in
+        let o = Obdd.of_formula m example2_formula in
+        let o1 = Obdd.restrict m 1 true o in
+        Alcotest.(check bool) "F[x1:=1] = x2 | !x3" true
+          (Obdd.equal o1 (Obdd.of_formula m (parse "x2 | !x3")));
+        Alcotest.(check bool) "F[x1:=0] = 0" true
+          (Obdd.is_false (Obdd.restrict m 1 false o)));
+    t "xor" (fun () ->
+        let m = mgr [ 1; 2 ] in
+        let x = Obdd.xor m (Obdd.var m 1) (Obdd.var m 2) in
+        Alcotest.check bigint "2" (bi 2) (Obdd.count m ~vars:[ 1; 2 ] x));
+    t "support" (fun () ->
+        let m = mgr [ 1; 2; 3 ] in
+        let o = Obdd.of_formula m (parse "x1 & x3 | !x1 & x3") in
+        Alcotest.check vset "only x3" (Vset.singleton 3) (Obdd.support o));
+    t "size of parity function is linear" (fun () ->
+        let vars = List.init 8 (fun i -> i + 1) in
+        let m = mgr vars in
+        let parity =
+          List.fold_left
+            (fun acc v -> Obdd.xor m acc (Obdd.var m v))
+            (Obdd.leaf_false m) vars
+        in
+        (* Reduced OBDD of parity over n vars has 2n+1 nodes *)
+        Alcotest.(check int) "2n+1" 17 (Obdd.size parity);
+        Alcotest.check bigint "half the space" (bi 128)
+          (Obdd.count m ~vars parity))
+  ]
+
+let property_tests =
+  [ qtest "of_formula preserves semantics" ~count:100
+      (arb_formula ~nvars:6 ~depth:5)
+      (fun f ->
+         let vars = Vset.elements (Formula.vars f) in
+         QCheck.assume (vars <> []);
+         let m = mgr vars in
+         let o = Obdd.of_formula m f in
+         let varr = Array.of_list vars in
+         let ok = ref true in
+         for mask = 0 to (1 lsl List.length vars) - 1 do
+           let s = ref Vset.empty in
+           Array.iteri
+             (fun i v -> if mask land (1 lsl i) <> 0 then s := Vset.add v !s)
+             varr;
+           if Obdd.eval_set !s o <> Formula.eval_set !s f then ok := false
+         done;
+         !ok);
+    qtest "obdd counting = brute force" ~count:80
+      (arb_formula ~nvars:6 ~depth:5)
+      (fun f ->
+         let vars = Vset.elements (Formula.vars f) in
+         QCheck.assume (vars <> []);
+         let m = mgr vars in
+         let o = Obdd.of_formula m f in
+         Kvec.equal
+           (Brute.count_by_size ~vars f)
+           (Obdd.count_by_size m ~vars o));
+    qtest "to_circuit is d-D and equivalent" ~count:60
+      (arb_formula ~nvars:5 ~depth:4)
+      (fun f ->
+         let vars = Vset.elements (Formula.vars f) in
+         QCheck.assume (vars <> []);
+         let m = mgr vars in
+         let c = Obdd.to_circuit m (Obdd.of_formula m f) in
+         Circuit.check_deterministic ~max_vars:10 c
+         && Circuit.equivalent_formula ~max_vars:10 c f);
+    qtest "canonicity: equivalent formulas share the node" ~count:60
+      (QCheck.pair (arb_formula ~nvars:4 ~depth:3) (arb_formula ~nvars:4 ~depth:3))
+      (fun (f, g) ->
+         let m = mgr [ 1; 2; 3; 4 ] in
+         let a = Obdd.of_formula m f and b = Obdd.of_formula m g in
+         Obdd.equal a b = Semantics.equivalent f g);
+    qtest "neg involutive" ~count:60 (arb_formula ~nvars:5 ~depth:4)
+      (fun f ->
+         let vars = Vset.elements (Formula.vars f) in
+         QCheck.assume (vars <> []);
+         let m = mgr vars in
+         let o = Obdd.of_formula m f in
+         Obdd.equal o (Obdd.neg m (Obdd.neg m o)))
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,72 @@
+(** Unit and property tests for exact rationals. *)
+
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+let r = Rat.of_ints
+
+let unit_tests =
+  [ t "normalization" (fun () ->
+        Alcotest.check rat "2/4 = 1/2" (r 1 2) (r 2 4);
+        Alcotest.check rat "-2/-4 = 1/2" (r 1 2) (r (-2) (-4));
+        Alcotest.check rat "2/-4 = -1/2" (r (-1) 2) (r 2 (-4));
+        Alcotest.check rat "0/7 = 0" Rat.zero (r 0 7));
+    t "den positive, coprime" (fun () ->
+        let x = r 6 (-4) in
+        Alcotest.check bigint "num" (Bigint.of_int (-3)) (Rat.num x);
+        Alcotest.check bigint "den" (Bigint.of_int 2) (Rat.den x));
+    t "zero denominator raises" (fun () ->
+        Alcotest.check_raises "d0" Division_by_zero (fun () ->
+            ignore (r 1 0)));
+    t "arithmetic" (fun () ->
+        Alcotest.check rat "1/2+1/3" (r 5 6) (Rat.add (r 1 2) (r 1 3));
+        Alcotest.check rat "1/2-1/3" (r 1 6) (Rat.sub (r 1 2) (r 1 3));
+        Alcotest.check rat "2/3*3/4" (r 1 2) (Rat.mul (r 2 3) (r 3 4));
+        Alcotest.check rat "(1/2)/(1/3)" (r 3 2) (Rat.div (r 1 2) (r 1 3)));
+    t "inv of zero raises" (fun () ->
+        Alcotest.check_raises "inv0" Division_by_zero (fun () ->
+            ignore (Rat.inv Rat.zero)));
+    t "to_bigint" (fun () ->
+        Alcotest.check bigint "6/3" (Bigint.of_int 2) (Rat.to_bigint (r 6 3));
+        Alcotest.check_raises "1/2" (Failure "Rat.to_bigint: not an integer")
+          (fun () -> ignore (Rat.to_bigint (r 1 2))));
+    t "string roundtrip" (fun () ->
+        List.iter
+          (fun s ->
+             Alcotest.(check string) s s (Rat.to_string (Rat.of_string s)))
+          [ "0"; "5"; "-7"; "1/2"; "-3/7"; "123456789123456789/2" ]);
+    t "compare" (fun () ->
+        Alcotest.(check bool) "1/3 < 1/2" true (Rat.compare (r 1 3) (r 1 2) < 0);
+        Alcotest.(check bool) "-1/2 < 1/3" true
+          (Rat.compare (r (-1) 2) (r 1 3) < 0));
+    t "example 2 sum" (fun () ->
+        (* 5/6 + 2/6 - 1/6 = 1 *)
+        Alcotest.check rat "sum" Rat.one
+          (Rat.add (r 5 6) (Rat.add (r 2 6) (r (-1) 6))))
+  ]
+
+let property_tests =
+  let p2 = QCheck.pair arb_rat arb_rat in
+  let p3 = QCheck.triple arb_rat arb_rat arb_rat in
+  [ qtest "add commutative" p2 (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    qtest "add associative" p3 (fun (a, b, c) ->
+        Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c)));
+    qtest "mul distributes" p3 (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c))
+          (Rat.add (Rat.mul a b) (Rat.mul a c)));
+    qtest "sub inverse of add" p2 (fun (a, b) ->
+        Rat.equal a (Rat.sub (Rat.add a b) b));
+    qtest "mul then div identity" p2 (fun (a, b) ->
+        QCheck.assume (not (Rat.is_zero b));
+        Rat.equal a (Rat.div (Rat.mul a b) b));
+    qtest "inv involutive" arb_rat (fun a ->
+        QCheck.assume (not (Rat.is_zero a));
+        Rat.equal a (Rat.inv (Rat.inv a)));
+    qtest "normal form means structural equality" p2 (fun (a, b) ->
+        Rat.equal a b = (Rat.compare a b = 0));
+    qtest "string roundtrip" arb_rat (fun a ->
+        Rat.equal a (Rat.of_string (Rat.to_string a)))
+  ]
+
+let suite = unit_tests @ property_tests
