@@ -852,30 +852,52 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Every section runs inside a fresh Obs ledger; the per-section oracle
+   and timing breakdowns are written as one JSON object per section to
+   BENCH_STATS.json (override the path with SHAPMC_BENCH_STATS, disable
+   with SHAPMC_BENCH_STATS=none), so benchmark trajectories record not
+   just wall times but where the oracle calls and time went. *)
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18); ("E19", e19); ("M", micro) ]
+
 let () =
   Printf.printf
     "shapmc benchmark harness — reproduction of Kara/Olteanu/Suciu, PODS 2024\n";
   Printf.printf "mode: %s\n" (if quick then "quick" else "full");
+  let stats_path =
+    Option.value ~default:"BENCH_STATS.json"
+      (Sys.getenv_opt "SHAPMC_BENCH_STATS")
+  in
   let t0 = Unix.gettimeofday () in
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
-  e18 ();
-  e19 ();
-  micro ();
+  let sections =
+    List.map
+      (fun (id, f) ->
+         Obs.reset ();
+         Obs.enable ();
+         let s0 = Unix.gettimeofday () in
+         f ();
+         let dt = Unix.gettimeofday () -. s0 in
+         let json =
+           Printf.sprintf "\"%s\":{\"seconds\":%.3f,\"stats\":%s}" id dt
+             (Obs.to_json ())
+         in
+         Obs.reset ();
+         json)
+      experiments
+  in
+  Obs.disable ();
+  if stats_path <> "none" then begin
+    let oc = open_out stats_path in
+    output_string oc
+      (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n"
+         (if quick then "quick" else "full")
+         (String.concat "," sections));
+    close_out oc;
+    Printf.printf "\nPer-section oracle/timing stats written to %s\n"
+      stats_path
+  end;
   Printf.printf "\nAll experiment sections completed in %.1fs.\n"
     (Unix.gettimeofday () -. t0)

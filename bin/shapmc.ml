@@ -27,6 +27,17 @@ let method_arg ~choices ~default =
   in
   Arg.(value & opt string default & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
 
+let stats_arg =
+  let doc =
+    "Collect and print instrumentation after the result: an oracle-call \
+     table (how many times each oracle was consulted, at which universe \
+     sizes n and substitution arities l — the cost measure of Theorem \
+     3.1), substitution sizes, counters and timing spans.  Also enabled \
+     by setting $(env)."
+  in
+  Arg.(value & flag
+       & info [ "stats" ] ~env:(Cmd.Env.info "SHAPMC_STATS") ~doc)
+
 let universe_arg =
   let doc =
     "Extra universe size: treat the function as being over the first N \
@@ -57,10 +68,20 @@ let wrap f =
     Printf.eprintf "error: %s\n" m;
     exit 1
 
+(* Bracket a subcommand body with the Obs ledger when --stats is given. *)
+let with_stats stats f =
+  if stats then begin
+    Obs.reset ();
+    Obs.enable ()
+  end;
+  let r = f () in
+  if stats then Format.printf "@\n%a@?" Obs.pp_report ();
+  r
+
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run method_ n s =
+  let run stats method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -68,27 +89,28 @@ let count_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          let result =
-            match method_ with
-            | "dpll" -> Dpll.count_universe ~vars f
-            | "brute" -> Brute.count ~vars f
-            | "circuit" -> Count.count ~vars (Compile.compile f)
-            | "obdd" ->
-              let m = Obdd.create_manager ~order:vars in
-              Obdd.count m ~vars (Obdd.of_formula m f)
-            | m -> failwith ("unknown method " ^ m)
-          in
-          Printf.printf "%s\n" (Bigint.to_string result))
+          with_stats stats (fun () ->
+              let result =
+                match method_ with
+                | "dpll" -> Dpll.count_universe ~vars f
+                | "brute" -> Brute.count ~vars f
+                | "circuit" -> Count.count ~vars (Compile.compile f)
+                | "obdd" ->
+                  let m = Obdd.create_manager ~order:vars in
+                  Obdd.count m ~vars (Obdd.of_formula m f)
+                | m -> failwith ("unknown method " ^ m)
+              in
+              Printf.printf "%s\n" (Bigint.to_string result)))
   in
   let info = Cmd.info "count" ~doc:"Model count #F of a Boolean formula." in
   Cmd.v info
-    Term.(const run
+    Term.(const run $ stats_arg
           $ method_arg ~choices:[ "dpll"; "brute"; "circuit"; "obdd" ]
               ~default:"dpll"
           $ universe_arg $ formula_arg)
 
 let kcount_cmd =
-  let run method_ n s =
+  let run stats method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -96,28 +118,29 @@ let kcount_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          let kv =
-            match method_ with
-            | "dpll" -> Dpll.count_by_size_universe ~vars f
-            | "brute" -> Brute.count_by_size ~vars f
-            | "circuit" -> Count.count_by_size ~vars (Compile.compile f)
-            | "reduction" ->
-              (* Lemma 3.3 through a DPLL counting oracle *)
-              Pipeline.kcounts_via_count_oracle
-                ~oracle:Pipeline.dpll_count_oracle ~vars f
-            | m -> failwith ("unknown method " ^ m)
-          in
-          Array.iteri
-            (fun k c -> Printf.printf "#_%d = %s\n" k (Bigint.to_string c))
-            (Kvec.to_array kv);
-          Printf.printf "#F  = %s\n" (Bigint.to_string (Kvec.total kv)))
+          with_stats stats (fun () ->
+              let kv =
+                match method_ with
+                | "dpll" -> Dpll.count_by_size_universe ~vars f
+                | "brute" -> Brute.count_by_size ~vars f
+                | "circuit" -> Count.count_by_size ~vars (Compile.compile f)
+                | "reduction" ->
+                  (* Lemma 3.3 through a DPLL counting oracle *)
+                  Pipeline.kcounts_via_count_oracle
+                    ~oracle:Pipeline.dpll_count_oracle ~vars f
+                | m -> failwith ("unknown method " ^ m)
+              in
+              Array.iteri
+                (fun k c -> Printf.printf "#_%d = %s\n" k (Bigint.to_string c))
+                (Kvec.to_array kv);
+              Printf.printf "#F  = %s\n" (Bigint.to_string (Kvec.total kv))))
   in
   let info =
     Cmd.info "kcount"
       ~doc:"Fixed-size model counts #_k F (problem #_*C of Section 3)."
   in
   Cmd.v info
-    Term.(const run
+    Term.(const run $ stats_arg
           $ method_arg
               ~choices:[ "dpll"; "brute"; "circuit"; "reduction" ]
               ~default:"dpll"
@@ -138,7 +161,7 @@ let print_shap names shap =
     (Rat.to_string (Naive.shap_sum shap))
 
 let shap_cmd =
-  let run method_ n s =
+  let run stats method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -146,35 +169,36 @@ let shap_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          let shap =
-            match method_ with
-            | "circuit" ->
-              Circuit_shapley.shap_direct ~vars (Compile.compile f)
-            | "reduction" ->
-              Pipeline.shap_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
-                ~vars f
-            | "pqe" ->
-              Pipeline.shap_via_pqe_oracle ~oracle:Pipeline.pqe_circuit_oracle
-                ~vars f
-            | "subsets" -> Naive.shap_subsets ~vars f
-            | "permutations" -> Naive.shap_permutations ~vars f
-            | m -> failwith ("unknown method " ^ m)
-          in
-          print_shap names shap)
+          with_stats stats (fun () ->
+              let shap =
+                match method_ with
+                | "circuit" ->
+                  Circuit_shapley.shap_direct ~vars (Compile.compile f)
+                | "reduction" ->
+                  Pipeline.shap_via_count_oracle
+                    ~oracle:Pipeline.dpll_count_oracle ~vars f
+                | "pqe" ->
+                  Pipeline.shap_via_pqe_oracle
+                    ~oracle:Pipeline.pqe_circuit_oracle ~vars f
+                | "subsets" -> Naive.shap_subsets ~vars f
+                | "permutations" -> Naive.shap_permutations ~vars f
+                | m -> failwith ("unknown method " ^ m)
+              in
+              print_shap names shap))
   in
   let info =
     Cmd.info "shap"
       ~doc:"Shapley value of every variable (problem Shap(C) of Section 3)."
   in
   Cmd.v info
-    Term.(const run
+    Term.(const run $ stats_arg
           $ method_arg
               ~choices:[ "circuit"; "reduction"; "pqe"; "subsets"; "permutations" ]
               ~default:"circuit"
           $ universe_arg $ formula_arg)
 
 let banzhaf_cmd =
-  let run method_ n s =
+  let run stats method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -182,23 +206,25 @@ let banzhaf_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          let scores =
-            match method_ with
-            | "circuit" -> Power_indices.banzhaf_circuit ~vars (Compile.compile f)
-            | "brute" -> Power_indices.banzhaf ~vars f
-            | "dpll" ->
-              Power_indices.banzhaf_via_count_oracle
-                ~count:(fun ~vars f -> Dpll.count_universe ~vars f)
-                ~vars f
-            | m -> failwith ("unknown method " ^ m)
-          in
-          print_shap names scores)
+          with_stats stats (fun () ->
+              let scores =
+                match method_ with
+                | "circuit" ->
+                  Power_indices.banzhaf_circuit ~vars (Compile.compile f)
+                | "brute" -> Power_indices.banzhaf ~vars f
+                | "dpll" ->
+                  Power_indices.banzhaf_via_count_oracle
+                    ~count:(fun ~vars f -> Dpll.count_universe ~vars f)
+                    ~vars f
+                | m -> failwith ("unknown method " ^ m)
+              in
+              print_shap names scores))
   in
   let info =
     Cmd.info "banzhaf" ~doc:"Banzhaf value of every variable (comparison index)."
   in
   Cmd.v info
-    Term.(const run
+    Term.(const run $ stats_arg
           $ method_arg ~choices:[ "circuit"; "brute"; "dpll" ] ~default:"circuit"
           $ universe_arg $ formula_arg)
 

@@ -5,6 +5,8 @@
    the usual nested multiplication by [(x - p_i)]. *)
 
 let vandermonde_solve ~points ~values =
+  Obs.incr "linalg.vandermonde_solves";
+  Obs.with_span "linalg.vandermonde_solve" @@ fun () ->
   let m = Array.length points in
   if Array.length values <> m then
     invalid_arg "Linalg.vandermonde_solve: length mismatch";
@@ -37,6 +39,8 @@ let vandermonde_solve ~points ~values =
   end
 
 let gauss_solve a b =
+  Obs.incr "linalg.gauss_solves";
+  Obs.with_span "linalg.gauss_solve" @@ fun () ->
   let n = Array.length a in
   if n = 0 then Some [||]
   else begin

@@ -6,7 +6,7 @@ let apply theta f = Formula.map_var theta f
    combined by [combine] (disjunction for OR-substitution, conjunction for
    AND-substitution).  Blocks are allocated deterministically in ascending
    order of the original variable. *)
-let block_subst ?universe ~combine ~widths f =
+let block_subst ?universe ~kind ~combine ~widths f =
   let fvars = Formula.vars f in
   let universe =
     match universe with
@@ -34,15 +34,20 @@ let block_subst ?universe ~combine ~widths f =
     | Some g -> g
     | None -> Formula.var v
   in
-  (apply theta f, blocks)
+  let g = apply theta f in
+  if Obs.enabled () then
+    Obs.record_subst ~kind ~pre:(Formula.size f) ~post:(Formula.size g)
+      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 blocks);
+  (g, blocks)
 
 let or_subst ?universe ~widths f =
-  block_subst ?universe ~combine:Formula.or_ ~widths f
+  block_subst ?universe ~kind:"formula.or" ~combine:Formula.or_ ~widths f
 
 let uniform_or ?universe ~l f = or_subst ?universe ~widths:(fun _ -> l) f
 
 let uniform_and ?universe ~l f =
-  block_subst ?universe ~combine:Formula.and_ ~widths:(fun _ -> l) f
+  block_subst ?universe ~kind:"formula.and" ~combine:Formula.and_
+    ~widths:(fun _ -> l) f
 
 let uniform_or_except ?universe ~l ~keep f =
   let g, blocks =

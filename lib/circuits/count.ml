@@ -3,6 +3,10 @@
    module stateless). *)
 
 let count_by_size_circuit root =
+  if Obs.enabled () then begin
+    Obs.incr "circuit.kcounts";
+    Obs.add "circuit.kcount_gates" (Circuit.size root)
+  end;
   let memo : (int, Kvec.t) Hashtbl.t = Hashtbl.create 256 in
   let smooth_to scope child_vec child_vars =
     Kvec.extend child_vec

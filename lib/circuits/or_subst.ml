@@ -59,7 +59,14 @@ let or_subst ?universe ~widths root =
       Hashtbl.replace memo g.id h;
       h
   in
-  (go root, List.rev !blocks)
+  let root' = go root in
+  (* Pre/post gate counts witness Lemma 9's O(|G| + k·ℓ) bound; sizes are
+     only computed when the ledger is live. *)
+  if Obs.enabled () then
+    Obs.record_subst ~kind:"circuit.or" ~pre:(Circuit.size root)
+      ~post:(Circuit.size root')
+      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 !blocks);
+  (root', List.rev !blocks)
 
 let uniform_or ?universe ~l g = or_subst ?universe ~widths:(fun _ -> l) g
 

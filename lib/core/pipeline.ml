@@ -19,17 +19,38 @@ let shap_oracle_of_subsets =
 
 let sorted_universe ~vars f =
   let universe = Vset.of_list vars in
+  if Vset.cardinal universe <> List.length vars then
+    invalid_arg "Pipeline: duplicate variables in the universe";
   if not (Vset.subset (Formula.vars f) universe) then
     invalid_arg "Pipeline: universe misses variables of the formula";
   (universe, List.sort compare vars)
+
+(* Every oracle consultation goes through these wrappers so the Obs ledger
+   records the paper's cost measure: which oracle, on how many variables,
+   at which substitution arity ℓ, on how large an instance.  The metadata
+   (sizes, lengths) is only computed when the ledger is live. *)
+let ledgered_count ~oracle ?arity ~vars f =
+  if not (Obs.enabled ()) then oracle.count ~vars f
+  else
+    Obs.call ~oracle:oracle.oracle_name ~n:(List.length vars) ?arity
+      ~size:(Formula.size f)
+      (fun () -> oracle.count ~vars f)
+
+let ledgered_shap ~oracle ?arity ~vars f =
+  if not (Obs.enabled ()) then oracle.shap ~vars f
+  else
+    Obs.call ~oracle:oracle.shap_name ~n:(List.length vars) ?arity
+      ~size:(Formula.size f)
+      (fun () -> oracle.shap ~vars f)
 
 (* Lemma 3.3 instantiated with formula OR-substitution. *)
 let kcounts_via_count_oracle ~oracle ~vars f =
   let universe, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
+  Obs.with_span "pipeline.kcounts_via_count_oracle" @@ fun () ->
   Reductions.kcounts_via_counting ~n ~count_subst:(fun ~l ->
       let g, blocks = Subst.uniform_or ~universe ~l f in
-      oracle.count ~vars:(List.concat_map snd blocks) g)
+      ledgered_count ~oracle ~arity:l ~vars:(List.concat_map snd blocks) g)
 
 (* Lemma 3.2 over Lemma 3.3: the full Shap(C) ≤P #~C chain.  Following the
    proof, the #_*-oracle is consulted on the isomorphic copy ~F and on the
@@ -37,6 +58,7 @@ let kcounts_via_count_oracle ~oracle ~vars f =
 let shap_via_count_oracle ~oracle ~vars f =
   let universe, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
+  Obs.with_span "pipeline.shap_via_count_oracle" @@ fun () ->
   let kcount_full =
     let tilde_f, blocks = Subst.isomorphic_copy ~universe f in
     kcounts_via_count_oracle ~oracle
@@ -60,7 +82,7 @@ let shap_subst_of_oracle ~oracle ~universe ~sorted f ~l ~pos =
   let i = List.nth sorted pos in
   let g, z, blocks = Subst.uniform_or_except ~universe ~l ~keep:i f in
   let gvars = List.concat_map snd blocks in
-  match List.assoc_opt z (oracle.shap ~vars:gvars g) with
+  match List.assoc_opt z (ledgered_shap ~oracle ~arity:l ~vars:gvars g) with
   | Some v -> v
   | None -> failwith "Pipeline: Shapley oracle did not report Z_i"
 
@@ -68,6 +90,7 @@ let kcounts_via_shap_oracle ~oracle ~vars f =
   let universe, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
   let f_zero = Formula.eval_set Vset.empty f in
+  Obs.with_span "pipeline.kcounts_via_shap_oracle" @@ fun () ->
   Reductions.kcounts_via_shap ~n ~f_zero
     ~shap_subst:(shap_subst_of_oracle ~oracle ~universe ~sorted f)
 
@@ -97,11 +120,19 @@ let pqe_circuit_oracle =
          Prob.probability ~weights:(fun _ -> theta) (Compile.compile f));
   }
 
+let ledgered_prob ~oracle ~theta ~vars f =
+  if not (Obs.enabled ()) then oracle.prob ~theta ~vars f
+  else
+    Obs.call ~oracle:oracle.pqe_name ~n:(List.length vars)
+      ~size:(Formula.size f)
+      (fun () -> oracle.prob ~theta ~vars f)
+
 let kcounts_via_pqe_oracle ~oracle ~vars f =
   let _, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
+  Obs.with_span "pipeline.kcounts_via_pqe_oracle" @@ fun () ->
   Reductions.kcounts_via_probability ~n ~prob:(fun ~theta ->
-      oracle.prob ~theta ~vars f)
+      ledgered_prob ~oracle ~theta ~vars f)
 
 let shap_via_pqe_oracle ~oracle ~vars f =
   let _, sorted = sorted_universe ~vars f in

@@ -5,6 +5,7 @@ let or_points ~count =
    unknowns; every solution in the paper's systems is an integer vector
    (model counts), so a non-integer solution indicates an oracle bug. *)
 let solve_integer_vandermonde ~points ~values ~what =
+  Obs.with_span "reductions.solve_integer_vandermonde" @@ fun () ->
   let sol = Linalg.vandermonde_solve ~points ~values in
   Array.map
     (fun r ->
@@ -40,6 +41,7 @@ let shap_via_kcounts ~n ~kcount_full ~kcount_drop =
 (* Lemma 3.3 *)
 
 let kcounts_via_counting ~n ~count_subst =
+  Obs.with_span "reductions.kcounts_via_counting" @@ fun () ->
   let points = or_points ~count:(n + 1) in
   let values =
     Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))

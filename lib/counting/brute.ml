@@ -6,15 +6,25 @@
     variables).  Exponential: callers are limited to
     {!Semantics.max_enum_vars} variables. *)
 
+(* Every brute call enumerates 2^|vars| assignments; ledger the volume so
+   the counter shows up next to DPLL branch counts in reports. *)
+let observe ~what n =
+  if Obs.enabled () then begin
+    Obs.incr ("brute." ^ what);
+    if n <= 62 then Obs.add "brute.assignments" (1 lsl n)
+  end
+
 (** [count ~vars f] is [#F] over the universe [vars]. *)
 let count ~vars f =
   let vars = Array.of_list vars in
+  observe ~what:"counts" (Array.length vars);
   Semantics.fold_models ~vars f Bigint.zero (fun acc _ -> Bigint.succ acc)
 
 (** [count_by_size ~vars f] is the vector [#_{0..n} F] over [vars]. *)
 let count_by_size ~vars f =
   let vars_a = Array.of_list vars in
   let n = Array.length vars_a in
+  observe ~what:"kcounts" n;
   let counts = Array.make (n + 1) Bigint.zero in
   let _ =
     Semantics.fold_models ~vars:vars_a f ()

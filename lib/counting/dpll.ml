@@ -113,8 +113,14 @@ and kcount_compound st f =
 let fresh_state () = { cache = Hashtbl.create 256; branches = 0; cache_hits = 0 }
 
 let count_by_size f =
-  let f = Formula.simplify f in
-  kcount (fresh_state ()) f
+  let st = fresh_state () in
+  let v = kcount st (Formula.simplify f) in
+  if Obs.enabled () then begin
+    Obs.incr "dpll.counts";
+    Obs.add "dpll.branches" st.branches;
+    Obs.add "dpll.cache_hits" st.cache_hits
+  end;
+  v
 
 let count f = Kvec.total (count_by_size f)
 

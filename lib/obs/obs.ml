@@ -1,0 +1,320 @@
+(* Global mutable state behind a single [enabled] flag.  Recording entry
+   points check the flag first, so when observation is off an instrumented
+   call site costs one load + branch (plus the closure it already built). *)
+
+type span_stat = { span_path : string; span_calls : int; span_seconds : float }
+
+type call = {
+  call_oracle : string;
+  call_n : int;
+  call_arity : int;
+  call_size : int;
+  call_seconds : float;
+}
+
+type subst_event = {
+  subst_kind : string;
+  subst_pre : int;
+  subst_post : int;
+  subst_fresh : int;
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+(* Ledgers are prepended to and reversed on read-back. *)
+let calls_log : call list ref = ref []
+let substs_log : subst_event list ref = ref []
+
+(* Span aggregation: path -> (calls, total seconds); [span_stack] holds
+   the current path so nested spans compose hierarchically. *)
+let spans_tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 32
+let span_stack : string list ref = ref []
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  calls_log := [];
+  substs_log := [];
+  Hashtbl.reset spans_tbl;
+  span_stack := []
+
+let now = Unix.gettimeofday
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let add name k =
+  if !enabled_flag then
+    match Hashtbl.find_opt counters_tbl name with
+    | Some r -> r := !r + k
+    | None -> Hashtbl.replace counters_tbl name (ref k)
+
+let incr name = add name 1
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+let counters () =
+  List.sort compare
+    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl [])
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let path =
+      match !span_stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+    in
+    span_stack := path :: !span_stack;
+    let t0 = now () in
+    let finish () =
+      let dt = now () -. t0 in
+      (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+      match Hashtbl.find_opt spans_tbl path with
+      | Some r ->
+        let c, t = !r in
+        r := (c + 1, t +. dt)
+      | None -> Hashtbl.replace spans_tbl path (ref (1, dt))
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let spans () =
+  List.sort compare
+    (Hashtbl.fold
+       (fun path r acc ->
+          let c, t = !r in
+          { span_path = path; span_calls = c; span_seconds = t } :: acc)
+       spans_tbl [])
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-call ledger *)
+
+let record ~oracle ~n ?(arity = -1) ?(size = -1) ~seconds () =
+  if !enabled_flag then
+    calls_log :=
+      { call_oracle = oracle;
+        call_n = n;
+        call_arity = arity;
+        call_size = size;
+        call_seconds = seconds }
+      :: !calls_log
+
+let call ~oracle ~n ?arity ?size f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    let r = f () in
+    record ~oracle ~n ?arity ?size ~seconds:(now () -. t0) ();
+    r
+  end
+
+let calls () = List.rev !calls_log
+
+let call_count ?oracle () =
+  match oracle with
+  | None -> List.length !calls_log
+  | Some name ->
+    List.length (List.filter (fun c -> c.call_oracle = name) !calls_log)
+
+(* ------------------------------------------------------------------ *)
+(* Substitution ledger *)
+
+let record_subst ~kind ~pre ~post ~fresh =
+  if !enabled_flag then
+    substs_log :=
+      { subst_kind = kind; subst_pre = pre; subst_post = post;
+        subst_fresh = fresh }
+      :: !substs_log
+
+let substs () = List.rev !substs_log
+
+(* ------------------------------------------------------------------ *)
+(* Reports *)
+
+(* Per-oracle aggregate of the call ledger:
+   (calls, min n, max n, min l, max l, max size, total seconds). *)
+type agg = {
+  mutable a_calls : int;
+  mutable a_n_min : int;
+  mutable a_n_max : int;
+  mutable a_l_min : int;
+  mutable a_l_max : int;
+  mutable a_size_max : int;
+  mutable a_seconds : float;
+}
+
+let aggregate () =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+       let a =
+         match Hashtbl.find_opt tbl c.call_oracle with
+         | Some a -> a
+         | None ->
+           let a =
+             { a_calls = 0; a_n_min = max_int; a_n_max = -1;
+               a_l_min = max_int; a_l_max = -1; a_size_max = -1;
+               a_seconds = 0.0 }
+           in
+           Hashtbl.replace tbl c.call_oracle a;
+           a
+       in
+       a.a_calls <- a.a_calls + 1;
+       a.a_n_min <- min a.a_n_min c.call_n;
+       a.a_n_max <- max a.a_n_max c.call_n;
+       if c.call_arity >= 0 then begin
+         a.a_l_min <- min a.a_l_min c.call_arity;
+         a.a_l_max <- max a.a_l_max c.call_arity
+       end;
+       a.a_size_max <- max a.a_size_max c.call_size;
+       a.a_seconds <- a.a_seconds +. c.call_seconds)
+    (calls ());
+  List.sort compare (Hashtbl.fold (fun k a acc -> (k, a) :: acc) tbl [])
+
+let range lo hi =
+  if hi < 0 then "-"
+  else if lo = hi then string_of_int lo
+  else Printf.sprintf "%d..%d" lo hi
+
+let pp_report ppf () =
+  let open Format in
+  let aggs = aggregate () in
+  fprintf ppf "oracle calls:@\n";
+  if aggs = [] then fprintf ppf "  (none)@\n"
+  else begin
+    fprintf ppf "  %-18s %8s %-9s %-9s %9s %10s@\n" "oracle" "calls" "n" "l"
+      "max|F|" "time(s)";
+    List.iter
+      (fun (name, a) ->
+         fprintf ppf "  %-18s %8d %-9s %-9s %9s %10.4f@\n" name a.a_calls
+           (range a.a_n_min a.a_n_max)
+           (range a.a_l_min a.a_l_max)
+           (if a.a_size_max < 0 then "-" else string_of_int a.a_size_max)
+           a.a_seconds)
+      aggs
+  end;
+  (match substs () with
+   | [] -> ()
+   | evs ->
+     fprintf ppf "substitutions:@\n";
+     fprintf ppf "  %-14s %8s %10s %10s %8s@\n" "kind" "count" "max-pre"
+       "max-post" "fresh";
+     let tbl = Hashtbl.create 4 in
+     List.iter
+       (fun e ->
+          let c, pre, post, fresh =
+            Option.value ~default:(0, 0, 0, 0)
+              (Hashtbl.find_opt tbl e.subst_kind)
+          in
+          Hashtbl.replace tbl e.subst_kind
+            ( c + 1, max pre e.subst_pre, max post e.subst_post,
+              fresh + e.subst_fresh ))
+       evs;
+     List.iter
+       (fun (kind, (c, pre, post, fresh)) ->
+          fprintf ppf "  %-14s %8d %10d %10d %8d@\n" kind c pre post fresh)
+       (List.sort compare
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])));
+  (match counters () with
+   | [] -> ()
+   | cs ->
+     fprintf ppf "counters:@\n";
+     List.iter (fun (name, v) -> fprintf ppf "  %-34s %12d@\n" name v) cs);
+  (match spans () with
+   | [] -> ()
+   | ss ->
+     fprintf ppf "spans:@\n";
+     List.iter
+       (fun s ->
+          fprintf ppf "  %-52s %6d %10.4f@\n" s.span_path s.span_calls
+            s.span_seconds)
+       ss)
+
+let report () = Format.asprintf "%a" pp_report ()
+
+(* ------------------------------------------------------------------ *)
+(* JSON (hand-rolled; only strings, ints and floats occur) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 32 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ json_escape k ^ "\":" ^ v) fields) ^ "}"
+
+let json_list items = "[" ^ String.concat "," items ^ "]"
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_float f = Printf.sprintf "%.6f" f
+
+let to_json () =
+  json_obj
+    [ ( "counters",
+        json_obj (List.map (fun (k, v) -> (k, string_of_int v)) (counters ()))
+      );
+      ( "spans",
+        json_obj
+          (List.map
+             (fun s ->
+                ( s.span_path,
+                  json_obj
+                    [ ("calls", string_of_int s.span_calls);
+                      ("seconds", json_float s.span_seconds) ] ))
+             (spans ())) );
+      ( "oracle_calls",
+        json_obj
+          (List.map
+             (fun (name, a) ->
+                ( name,
+                  json_obj
+                    [ ("calls", string_of_int a.a_calls);
+                      ("n_min", string_of_int a.a_n_min);
+                      ("n_max", string_of_int a.a_n_max);
+                      ("l_min", string_of_int (if a.a_l_max < 0 then -1 else a.a_l_min));
+                      ("l_max", string_of_int a.a_l_max);
+                      ("size_max", string_of_int a.a_size_max);
+                      ("seconds", json_float a.a_seconds) ] ))
+             (aggregate ())) );
+      ( "calls",
+        json_list
+          (List.map
+             (fun c ->
+                json_obj
+                  [ ("oracle", json_str c.call_oracle);
+                    ("n", string_of_int c.call_n);
+                    ("l", string_of_int c.call_arity);
+                    ("size", string_of_int c.call_size);
+                    ("seconds", json_float c.call_seconds) ])
+             (calls ())) );
+      ( "substs",
+        json_list
+          (List.map
+             (fun e ->
+                json_obj
+                  [ ("kind", json_str e.subst_kind);
+                    ("pre", string_of_int e.subst_pre);
+                    ("post", string_of_int e.subst_post);
+                    ("fresh", string_of_int e.subst_fresh) ])
+             (substs ())) ) ]

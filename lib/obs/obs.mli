@@ -1,0 +1,110 @@
+(** Oracle-call accounting and lightweight instrumentation.
+
+    The paper measures every reduction in {e oracle calls}: Lemma 3.3
+    consults the [#]-oracle on exactly [n + 1] OR-substituted instances,
+    Lemma 3.2 layers [n + 1] zapped instances on top, and Lemma 9 bounds
+    the size of each substituted circuit by [O(|G| + k·ℓ)].  This module
+    makes those costs observable: a global ledger records every oracle
+    invocation (name, universe size [n], substitution arity [ℓ], instance
+    size, wall-clock time), a substitution ledger records pre/post sizes
+    of every OR/AND-substitution, and named counters and hierarchical
+    spans capture whatever else a caller wants to account for.
+
+    All state is global and disabled by default; every recording entry
+    point first checks {!enabled}, so instrumented hot paths pay a single
+    branch when observation is off.  Tests and the [--stats] CLI flag
+    bracket work with {!enable}/{!reset} and read the ledgers back. *)
+
+(** {1 Switch} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** [reset ()] clears all counters, spans and ledgers (but not the
+    enabled flag). *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+(** [add name k] bumps counter [name] by [k] (no-op when disabled). *)
+val add : string -> int -> unit
+
+val incr : string -> unit
+
+(** [counter name] is the current value ([0] if never bumped). *)
+val counter : string -> int
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** {1 Hierarchical spans}
+
+    A span is a named, wall-clock-timed region.  Nested spans accumulate
+    under slash-separated paths
+    ([pipeline.shap_via_count_oracle/linalg.vandermonde_solve]), so the
+    report shows where time went {e within} each reduction stage. *)
+
+type span_stat = { span_path : string; span_calls : int; span_seconds : float }
+
+(** [with_span name f] runs [f ()] inside span [name]; when disabled it
+    is exactly [f ()]. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** Aggregated spans, sorted by path. *)
+val spans : unit -> span_stat list
+
+(** {1 Oracle-call ledger} *)
+
+type call = {
+  call_oracle : string;  (** oracle name, e.g. ["dpll"] *)
+  call_n : int;  (** universe size of the consulted instance *)
+  call_arity : int;  (** substitution arity [ℓ] of Lemma 3.3/3.4; [-1] when
+                         the call is not on a substituted instance *)
+  call_size : int;  (** instance size [|F|] or [|G|]; [-1] when unknown *)
+  call_seconds : float;  (** wall-clock time spent inside the oracle *)
+}
+
+(** [record ~oracle ~n ?arity ?size ~seconds ()] appends to the ledger
+    (no-op when disabled). *)
+val record :
+  oracle:string -> n:int -> ?arity:int -> ?size:int -> seconds:float ->
+  unit -> unit
+
+(** [call ~oracle ~n ?arity ?size f] times [f ()] and ledgers it; when
+    disabled it is exactly [f ()]. *)
+val call :
+  oracle:string -> n:int -> ?arity:int -> ?size:int -> (unit -> 'a) -> 'a
+
+(** Ledgered calls in chronological order. *)
+val calls : unit -> call list
+
+(** [call_count ()] is the ledger length; [call_count ~oracle ()]
+    restricts to one oracle name. *)
+val call_count : ?oracle:string -> unit -> int
+
+(** {1 Substitution ledger (Lemma 9 witnesses)} *)
+
+type subst_event = {
+  subst_kind : string;  (** ["formula.or"], ["formula.and"] or ["circuit.or"] *)
+  subst_pre : int;  (** instance size before substitution *)
+  subst_post : int;  (** instance size after substitution *)
+  subst_fresh : int;  (** total fresh variables introduced (Σ widths, the
+                          [k·ℓ] of Lemma 9 for uniform width [ℓ]) *)
+}
+
+val record_subst : kind:string -> pre:int -> post:int -> fresh:int -> unit
+val substs : unit -> subst_event list
+
+(** {1 Reports} *)
+
+(** Human-readable tables: oracle calls grouped by oracle, substitution
+    sizes, counters, spans. *)
+val pp_report : Format.formatter -> unit -> unit
+
+val report : unit -> string
+
+(** The full current state as a JSON object with fields ["counters"],
+    ["spans"], ["oracle_calls"] (aggregated per oracle), ["calls"] (the
+    raw ledger) and ["substs"]. *)
+val to_json : unit -> string

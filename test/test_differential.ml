@@ -1,0 +1,119 @@
+(** Differential properties: independently implemented algorithms must
+    agree on random inputs.
+
+    Counters (brute enumeration, DPLL with component decomposition, the
+    bottom-up d-D circuit pass) are compared on formulas of up to 10
+    variables; the Theorem 3.1 reduction pipeline is compared against the
+    exponential Eq. (2) reference on smaller universes (the OR-substituted
+    oracle instances blow up as n·l).
+
+    Determinism: every QCheck test gets its own fixed-seed
+    [Random.State], so a reported failure reproduces by rerunning the
+    suite.  Iteration counts are deliberately low in the default
+    [dune runtest] (tier-1) and raised by the [@slow] alias through the
+    [SHAPMC_QCHECK_COUNT] environment variable. *)
+
+open Helpers
+
+let iterations default =
+  match Sys.getenv_opt "SHAPMC_QCHECK_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> default)
+  | None -> default
+
+(* Like [Helpers.qtest], but deterministically seeded and env-scaled. *)
+let dtest ~seed ~count name arb prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 2024; seed |])
+    (QCheck.Test.make ~count:(iterations count) ~name arb prop)
+
+let universe n = List.init n succ
+
+(* ------------------------------------------------------------------ *)
+(* Model counters *)
+
+let vars10 = universe 10
+let arb10 = arb_formula ~nvars:10 ~depth:4
+
+let counter_tests =
+  [ dtest ~seed:1 ~count:40 "brute = dpll = circuit (#F, 10-var universe)"
+      arb10 (fun f ->
+        let b = Brute.count ~vars:vars10 f in
+        Bigint.equal b (Dpll.count_universe ~vars:vars10 f)
+        && Bigint.equal b (Count.count ~vars:vars10 (Compile.compile f)));
+    dtest ~seed:2 ~count:25 "brute = dpll = circuit (#_* F, 10-var universe)"
+      arb10 (fun f ->
+        let b = Brute.count_by_size ~vars:vars10 f in
+        Kvec.equal b (Dpll.count_by_size_universe ~vars:vars10 f)
+        && Kvec.equal b (Count.count_by_size ~vars:vars10 (Compile.compile f)));
+    dtest ~seed:3 ~count:25
+      "count_by_size_circuit total = brute (over the circuit's universe)"
+      arb10 (fun f ->
+        (* The compiled circuit may drop variables; smooth its stratified
+           vector up to the full universe before comparing. *)
+        let c = Compile.compile f in
+        let kv = Count.count_by_size_circuit c in
+        let smoothed =
+          Kvec.extend kv ~extra:(10 - Kvec.universe_size kv)
+        in
+        Kvec.equal smoothed (Brute.count_by_size ~vars:vars10 f));
+    dtest ~seed:4 ~count:25 "obdd = dpll (#F, 10-var universe)" arb10
+      (fun f ->
+        let m = Obdd.create_manager ~order:vars10 in
+        Bigint.equal
+          (Obdd.count m ~vars:vars10 (Obdd.of_formula m f))
+          (Dpll.count_universe ~vars:vars10 f)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Shapley pipelines: the Theorem 3.1 reduction vs the Eq. (2) reference.
+   The dpll oracle handles 6-variable universes (oracle instances reach
+   n·(n+1) = 42 fresh variables); the brute oracle enumerates 2^(n·l)
+   assignments, so it stays at n = 3. *)
+
+let shap_agree ~oracle ~vars f =
+  let reference = Naive.shap_subsets ~vars f in
+  let via = Pipeline.shap_via_count_oracle ~oracle ~vars f in
+  List.length reference = List.length via
+  && List.for_all2
+       (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+       (List.sort compare reference)
+       (List.sort compare via)
+
+let shap_tests =
+  [ dtest ~seed:5 ~count:15
+      "shap: Eq.(2) = reduction over dpll oracle (6-var universe)"
+      (arb_formula ~nvars:6 ~depth:4)
+      (shap_agree ~oracle:Pipeline.dpll_count_oracle ~vars:(universe 6));
+    dtest ~seed:6 ~count:10
+      "shap: Eq.(2) = reduction over brute oracle (3-var universe)"
+      (arb_formula ~nvars:3 ~depth:3)
+      (shap_agree ~oracle:Pipeline.brute_count_oracle ~vars:(universe 3));
+    dtest ~seed:7 ~count:10
+      "shap: dpll-reduction = pqe route (5-var universe)"
+      (arb_formula ~nvars:5 ~depth:4)
+      (fun f ->
+        let vars = universe 5 in
+        let a =
+          Pipeline.shap_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
+            ~vars f
+        in
+        let b =
+          Pipeline.shap_via_pqe_oracle ~oracle:Pipeline.pqe_circuit_oracle
+            ~vars f
+        in
+        List.for_all2
+          (fun (i, x) (j, y) -> i = j && Rat.equal x y)
+          (List.sort compare a) (List.sort compare b)) ]
+
+(* ------------------------------------------------------------------ *)
+(* The reverse reduction: # via a Shapley oracle (Lemma 3.4). *)
+
+let reverse_tests =
+  [ dtest ~seed:8 ~count:10 "count via Shap oracle = brute (3-var universe)"
+      (arb_formula ~nvars:3 ~depth:3)
+      (fun f ->
+        Bigint.equal
+          (Pipeline.count_via_shap_oracle
+             ~oracle:Pipeline.shap_oracle_of_subsets ~vars:(universe 3) f)
+          (Brute.count ~vars:(universe 3) f)) ]
+
+let suite = counter_tests @ shap_tests @ reverse_tests

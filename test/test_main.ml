@@ -16,4 +16,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("formats", Test_formats.suite);
       ("negation", Test_negation.suite);
-      ("cnf-compiler", Test_compile_cnf.suite) ]
+      ("cnf-compiler", Test_compile_cnf.suite);
+      ("obs", Test_obs.suite);
+      ("differential", Test_differential.suite) ]
