@@ -1,0 +1,158 @@
+(* Benchmark regression gate.
+
+   Usage:  compare.exe baseline.json results.json
+
+   Diffs a fresh BENCH_results.json (written by main.exe) against the
+   committed bench/baseline.json and exits nonzero on regression:
+
+   - oracle-call totals are compared EXACTLY.  Every bench section draws
+     its workload from a pinned Random.State seed, so the number of
+     oracle consultations — the cost measure of Theorem 3.1 — is fully
+     deterministic; any drift means a reduction started consulting its
+     oracle a different number of times, which is precisely the kind of
+     regression the paper's bounds rule out.  The same applies to the
+     recorded n/l/size maxima.
+
+   - wall-clock is compared with tolerance: a section regresses when
+     [current > baseline * (1 + tol) + slack] with [tol] read from
+     SHAPMC_BENCH_TOL (default 1.0, i.e. allow 2x) and a fixed 0.25 s
+     absolute slack so microsecond-scale sections never flap.
+
+   Sections present only in the current results are reported but do not
+   fail the gate (the baseline is regenerated deliberately when sections
+   are added); sections that disappeared do fail it. *)
+
+let tolerance =
+  match Sys.getenv_opt "SHAPMC_BENCH_TOL" with
+  | None -> 1.0
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some t when t >= 0.0 -> t
+      | _ ->
+        Printf.eprintf "bench-check: ignoring bad SHAPMC_BENCH_TOL %S\n" s;
+        1.0)
+
+let slack = 0.25
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let failures = ref 0
+
+let regression fmt =
+  Printf.ksprintf
+    (fun m ->
+       incr failures;
+       Printf.printf "  REGRESSION %s\n" m)
+    fmt
+
+let obj_fields = function
+  | Tiny_json.Obj fields -> fields
+  | _ -> failwith "bench-check: expected a JSON object"
+
+let field name doc =
+  match Tiny_json.member name doc with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bench-check: missing field %S" name)
+
+let int_field name doc =
+  match Tiny_json.to_int (field name doc) with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "bench-check: field %S is not an int" name)
+
+let float_field name doc =
+  match Tiny_json.to_float (field name doc) with
+  | Some f -> f
+  | None ->
+    failwith (Printf.sprintf "bench-check: field %S is not a number" name)
+
+let string_field name doc =
+  match Tiny_json.to_string (field name doc) with
+  | Some s -> s
+  | None ->
+    failwith (Printf.sprintf "bench-check: field %S is not a string" name)
+
+let sections_of doc = obj_fields (field "sections" doc)
+
+let seconds_of s = float_field "seconds" s
+
+let oracles_of s = obj_fields (field "oracles" s)
+
+(* Exact comparison of one oracle's integer totals. *)
+let check_oracle ~sec name base cur =
+  List.iter
+    (fun f ->
+       let b = int_field f base in
+       let c = int_field f cur in
+       if b <> c then
+         regression "%s: oracle %s %s changed %d -> %d" sec name f b c)
+    [ "calls"; "n_max"; "l_max"; "max_size" ]
+
+let check_section ~sec base cur =
+  let b_s = seconds_of base and c_s = seconds_of cur in
+  let limit = (b_s *. (1.0 +. tolerance)) +. slack in
+  if c_s > limit then
+    regression "%s: wall-clock %.3fs exceeds limit %.3fs (baseline %.3fs)" sec
+      c_s limit b_s
+  else
+    Printf.printf "  ok %-4s wall-clock %.3fs (baseline %.3fs, limit %.3fs)\n"
+      sec c_s b_s limit;
+  let b_oracles = oracles_of base and c_oracles = oracles_of cur in
+  List.iter
+    (fun (name, b) ->
+       match List.assoc_opt name c_oracles with
+       | None -> regression "%s: oracle %s disappeared" sec name
+       | Some c -> check_oracle ~sec name b c)
+    b_oracles;
+  List.iter
+    (fun (name, _) ->
+       if not (List.mem_assoc name b_oracles) then
+         regression "%s: new oracle %s not in the baseline" sec name)
+    c_oracles
+
+let () =
+  if Array.length Sys.argv <> 3 then begin
+    prerr_endline "usage: compare.exe baseline.json results.json";
+    exit 2
+  end;
+  let base = Tiny_json.parse (read_file Sys.argv.(1)) in
+  let cur = Tiny_json.parse (read_file Sys.argv.(2)) in
+  let b_mode = string_field "mode" base in
+  let c_mode = string_field "mode" cur in
+  if b_mode <> c_mode then begin
+    Printf.eprintf
+      "bench-check: mode mismatch (baseline %s, results %s) — not comparable\n"
+      b_mode c_mode;
+    exit 2
+  end;
+  Printf.printf
+    "bench-check: %s vs %s (mode %s, tol %.2f + %.2fs slack; exact \
+     oracle-call totals)\n"
+    Sys.argv.(2) Sys.argv.(1) b_mode tolerance slack;
+  let b_sections = sections_of base and c_sections = sections_of cur in
+  List.iter
+    (fun (sec, b) ->
+       match List.assoc_opt sec c_sections with
+       | None -> regression "%s: section disappeared" sec
+       | Some c -> check_section ~sec b c)
+    b_sections;
+  List.iter
+    (fun (sec, _) ->
+       if not (List.mem_assoc sec b_sections) then
+         Printf.printf "  note: new section %s (not in the baseline)\n" sec)
+    c_sections;
+  if !failures > 0 then begin
+    Printf.printf
+      "bench-check FAILED: %d regression%s (raise SHAPMC_BENCH_TOL for noisy \
+       machines; regenerate bench/baseline.json deliberately if the cost \
+       profile legitimately changed)\n"
+      !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end;
+  Printf.printf "bench-check passed: %d sections within bounds\n"
+    (List.length b_sections)

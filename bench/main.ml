@@ -863,6 +863,26 @@ let experiments =
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("M", micro) ]
 
+(* The compact per-section record the regression gate (compare.ml)
+   diffs against bench/baseline.json: wall-clock plus the oracle-call
+   totals of the section's reductions.  The workloads above use pinned
+   Random.State seeds, so the call totals — the paper's cost measure —
+   are exactly reproducible; only the wall-clock needs a tolerance. *)
+let results_entry ~id ~dt =
+  let oracles =
+    String.concat ","
+      (List.map
+         (fun (name, a) ->
+            Printf.sprintf
+              "\"%s\":{\"calls\":%d,\"n_max\":%d,\"l_max\":%d,\"max_size\":%d,\
+               \"seconds\":%s}"
+              name a.Obs.a_calls a.Obs.a_n_max a.Obs.a_l_max a.Obs.a_size_max
+              (Obs.json_float a.Obs.a_seconds))
+         (Obs.aggregate ()))
+  in
+  Printf.sprintf "\"%s\":{\"seconds\":%s,\"oracles\":{%s}}" id
+    (Obs.json_float dt) oracles
+
 let () =
   Printf.printf
     "shapmc benchmark harness — reproduction of Kara/Olteanu/Suciu, PODS 2024\n";
@@ -870,6 +890,10 @@ let () =
   let stats_path =
     Option.value ~default:"BENCH_STATS.json"
       (Sys.getenv_opt "SHAPMC_BENCH_STATS")
+  in
+  let results_path =
+    Option.value ~default:"BENCH_results.json"
+      (Sys.getenv_opt "SHAPMC_BENCH_RESULTS")
   in
   let t0 = Unix.gettimeofday () in
   let sections =
@@ -880,24 +904,35 @@ let () =
          let s0 = Unix.gettimeofday () in
          f ();
          let dt = Unix.gettimeofday () -. s0 in
-         let json =
+         let stats_json =
            Printf.sprintf "\"%s\":{\"seconds\":%.3f,\"stats\":%s}" id dt
              (Obs.to_json ())
          in
+         let result_json = results_entry ~id ~dt in
          Obs.reset ();
-         json)
+         (stats_json, result_json))
       experiments
   in
   Obs.disable ();
+  let mode = if quick then "quick" else "full" in
   if stats_path <> "none" then begin
     let oc = open_out stats_path in
     output_string oc
-      (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n"
-         (if quick then "quick" else "full")
-         (String.concat "," sections));
+      (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n" mode
+         (String.concat "," (List.map fst sections)));
     close_out oc;
     Printf.printf "\nPer-section oracle/timing stats written to %s\n"
       stats_path
+  end;
+  if results_path <> "none" then begin
+    let oc = open_out results_path in
+    output_string oc
+      (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n" mode
+         (String.concat "," (List.map snd sections)));
+    close_out oc;
+    Printf.printf
+      "Regression-gate results written to %s (diff with bench/compare.exe)\n"
+      results_path
   end;
   Printf.printf "\nAll experiment sections completed in %.1fs.\n"
     (Unix.gettimeofday () -. t0)

@@ -62,26 +62,61 @@ let universe_of ?n f =
            n top)
     else List.init n succ
 
+let trace_arg =
+  let doc =
+    "Record a structured event trace of the run and write it to $(docv).  \
+     A $(b,.jsonl) suffix selects the compact JSONL stream that $(b,shapmc \
+     trace-report) replays; any other suffix selects Chrome trace_event \
+     JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.  \
+     Implies the instrumentation that $(b,--stats) reads; giving both \
+     flags reports each exactly once."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let wrap f =
   try f () with
   | Invalid_argument m | Failure m ->
     Printf.eprintf "error: %s\n" m;
     exit 1
 
-(* Bracket a subcommand body with the Obs ledger when --stats is given. *)
-let with_stats stats f =
-  if stats then begin
+(* Bracket a subcommand body with the Obs ledger (--stats) and the trace
+   recorder (--trace FILE).  The two compose: a single reset up front,
+   the trace file written first (a note on stderr keeps stdout clean),
+   then the stats report — neither clears the other's data. *)
+let with_obs ~stats ~trace f =
+  let live = stats || trace <> None in
+  if live then begin
     Obs.reset ();
     Obs.enable ()
   end;
+  if trace <> None then Trace.start ();
   let r = f () in
+  (match trace with
+   | None -> ()
+   | Some path ->
+     Trace.stop ();
+     let evs = Trace.events () in
+     Trace_export.write_file ~path evs;
+     let stored = List.length evs in
+     Printf.eprintf "trace: %d event%s written to %s%s\n" stored
+       (if stored = 1 then "" else "s")
+       path
+       (if Trace.dropped () > 0 then
+          Printf.sprintf " (%d dropped at the %d-event cap)" (Trace.dropped ())
+            Trace.default_cap
+        else ""));
   if stats then Format.printf "@\n%a@?" Obs.pp_report ();
+  if live then begin
+    Trace.clear ();
+    Obs.disable ();
+    Obs.reset ()
+  end;
   r
 
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run stats method_ n s =
+  let run stats trace method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -89,7 +124,7 @@ let count_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_stats stats (fun () ->
+          with_obs ~stats ~trace (fun () ->
               let result =
                 match method_ with
                 | "dpll" -> Dpll.count_universe ~vars f
@@ -104,13 +139,13 @@ let count_cmd =
   in
   let info = Cmd.info "count" ~doc:"Model count #F of a Boolean formula." in
   Cmd.v info
-    Term.(const run $ stats_arg
+    Term.(const run $ stats_arg $ trace_arg
           $ method_arg ~choices:[ "dpll"; "brute"; "circuit"; "obdd" ]
               ~default:"dpll"
           $ universe_arg $ formula_arg)
 
 let kcount_cmd =
-  let run stats method_ n s =
+  let run stats trace method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -118,7 +153,7 @@ let kcount_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_stats stats (fun () ->
+          with_obs ~stats ~trace (fun () ->
               let kv =
                 match method_ with
                 | "dpll" -> Dpll.count_by_size_universe ~vars f
@@ -140,7 +175,7 @@ let kcount_cmd =
       ~doc:"Fixed-size model counts #_k F (problem #_*C of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg
+    Term.(const run $ stats_arg $ trace_arg
           $ method_arg
               ~choices:[ "dpll"; "brute"; "circuit"; "reduction" ]
               ~default:"dpll"
@@ -161,7 +196,7 @@ let print_shap names shap =
     (Rat.to_string (Naive.shap_sum shap))
 
 let shap_cmd =
-  let run stats method_ n s =
+  let run stats trace method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -169,7 +204,7 @@ let shap_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_stats stats (fun () ->
+          with_obs ~stats ~trace (fun () ->
               let shap =
                 match method_ with
                 | "circuit" ->
@@ -191,14 +226,14 @@ let shap_cmd =
       ~doc:"Shapley value of every variable (problem Shap(C) of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg
+    Term.(const run $ stats_arg $ trace_arg
           $ method_arg
               ~choices:[ "circuit"; "reduction"; "pqe"; "subsets"; "permutations" ]
               ~default:"circuit"
           $ universe_arg $ formula_arg)
 
 let banzhaf_cmd =
-  let run stats method_ n s =
+  let run stats trace method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -206,7 +241,7 @@ let banzhaf_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_stats stats (fun () ->
+          with_obs ~stats ~trace (fun () ->
               let scores =
                 match method_ with
                 | "circuit" ->
@@ -224,7 +259,7 @@ let banzhaf_cmd =
     Cmd.info "banzhaf" ~doc:"Banzhaf value of every variable (comparison index)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg
+    Term.(const run $ stats_arg $ trace_arg
           $ method_arg ~choices:[ "circuit"; "brute"; "dpll" ] ~default:"circuit"
           $ universe_arg $ formula_arg)
 
@@ -236,7 +271,7 @@ let approx_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run samples seed n s =
+  let run stats trace samples seed n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -249,18 +284,21 @@ let approx_cmd =
             | Some nm -> nm
             | None -> Printf.sprintf "x%d" i
           in
-          List.iter
-            (fun e ->
-               Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
-                 (name e.Sampling.variable) e.Sampling.value
-                 e.Sampling.half_width)
-            (Sampling.shap_sample ~seed ~samples ~vars f))
+          with_obs ~stats ~trace (fun () ->
+              List.iter
+                (fun e ->
+                   Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
+                     (name e.Sampling.variable) e.Sampling.value
+                     e.Sampling.half_width)
+                (Sampling.shap_sample ~seed ~samples ~vars f)))
   in
   let info =
     Cmd.info "approx"
       ~doc:"Approximate Shapley values by permutation sampling (Hoeffding CI)."
   in
-  Cmd.v info Term.(const run $ samples_arg $ seed_arg $ universe_arg $ formula_arg)
+  Cmd.v info
+    Term.(const run $ stats_arg $ trace_arg $ samples_arg $ seed_arg
+          $ universe_arg $ formula_arg)
 
 let prob_cmd =
   let theta_arg =
@@ -268,7 +306,7 @@ let prob_cmd =
          & info [ "t"; "theta" ] ~docv:"THETA"
              ~doc:"Probability of each variable (a rational, e.g. 1/3).")
   in
-  let run theta s =
+  let run stats trace theta s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -276,19 +314,20 @@ let prob_cmd =
           exit 1
         | Ok (f, _) ->
           let theta = Rat.of_string theta in
-          let p =
-            Prob.probability ~weights:(fun _ -> theta) (Compile.compile f)
-          in
-          Printf.printf "%s (~ %.6f)\n" (Rat.to_string p) (Rat.to_float p))
+          with_obs ~stats ~trace (fun () ->
+              let p =
+                Prob.probability ~weights:(fun _ -> theta) (Compile.compile f)
+              in
+              Printf.printf "%s (~ %.6f)\n" (Rat.to_string p) (Rat.to_float p)))
   in
   let info =
     Cmd.info "prob"
       ~doc:"Probability of the function under a uniform product distribution."
   in
-  Cmd.v info Term.(const run $ theta_arg $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ theta_arg $ formula_arg)
 
 let factor_cmd =
-  let run s =
+  let run stats trace s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -297,26 +336,28 @@ let factor_cmd =
         | Ok (f, _) ->
           if not (Nf.is_positive f) then
             failwith "read-once factoring requires a positive formula";
-          (match Read_once.factor (Nf.formula_to_pdnf f) with
-           | Some tree ->
-             Printf.printf "read-once: %s\n"
-               (Formula.to_string (Read_once.tree_to_formula tree))
-           | None -> Printf.printf "not read-once\n"))
+          with_obs ~stats ~trace (fun () ->
+              match Read_once.factor (Nf.formula_to_pdnf f) with
+              | Some tree ->
+                Printf.printf "read-once: %s\n"
+                  (Formula.to_string (Read_once.tree_to_formula tree))
+              | None -> Printf.printf "not read-once\n"))
   in
   let info =
     Cmd.info "factor" ~doc:"Read-once factoring of a positive formula."
   in
-  Cmd.v info Term.(const run $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ formula_arg)
 
 let compile_cmd =
-  let run target s =
+  let run stats trace target s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          (match target with
+          with_obs ~stats ~trace (fun () ->
+              match target with
            | "circuit" ->
              let c, stats = Compile.compile_with_stats f in
              Printf.printf "gates: %d  edges: %d  expansions: %d  cache hits: %d\n"
@@ -337,16 +378,17 @@ let compile_cmd =
       ~doc:"Compile a formula to a d-D circuit or OBDD (Section 4)."
   in
   Cmd.v info
-    Term.(const run
+    Term.(const run $ stats_arg $ trace_arg
           $ method_arg ~choices:[ "circuit"; "obdd" ] ~default:"circuit"
           $ formula_arg)
 
 let classify_cmd =
-  let run s =
+  let run stats trace s =
     wrap (fun () ->
         let q = Db_parser.parse_query s in
         Printf.printf "query: %s\n" (Cq.to_string q);
-        match Dichotomy.classify q with
+        with_obs ~stats ~trace (fun () ->
+            match Dichotomy.classify q with
         | Dichotomy.Hierarchical ->
           Printf.printf
             "hierarchical, self-join-free: Shap(C_Q) is in FP (Theorem 5.1)\n"
@@ -360,7 +402,7 @@ let classify_cmd =
         | Dichotomy.Has_negation ->
           Printf.printf
             "has negated atoms: outside the Theorem 5.1 dichotomy (cf. \
-             Reshef et al.); solved by lineage compilation\n")
+             Reshef et al.); solved by lineage compilation\n"))
   in
   let query_arg =
     Arg.(required
@@ -370,27 +412,29 @@ let classify_cmd =
   let info =
     Cmd.info "classify" ~doc:"Classify a CQ per the Theorem 5.1 dichotomy."
   in
-  Cmd.v info Term.(const run $ query_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ query_arg)
 
 let lineage_cmd =
-  let run file =
+  let run stats trace file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
-        let f = Lineage.lineage_formula db q in
-        let report = Explain.explain db q in
-        Format.printf "lineage: %s@\n%a@?" (Formula.to_string f) Explain.pp
-          report)
+        with_obs ~stats ~trace (fun () ->
+            let f = Lineage.lineage_formula db q in
+            let report = Explain.explain db q in
+            Format.printf "lineage: %s@\n%a@?" (Formula.to_string f) Explain.pp
+              report))
   in
   let info =
     Cmd.info "lineage"
       ~doc:"Lineage and per-tuple Shapley values for a query over a database."
   in
-  Cmd.v info Term.(const run $ file_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ file_arg)
 
 let stretch_cmd =
-  let run file =
+  let run stats trace file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
+        with_obs ~stats ~trace @@ fun () ->
         let is_endo r = Database.kind_of db r = Database.Endogenous in
         let qt, zs = Stretch.stretch_query ~is_endogenous:is_endo q in
         Printf.printf "query:     %s\n" (Cq.to_string q);
@@ -417,7 +461,7 @@ let stretch_cmd =
     Cmd.info "stretch"
       ~doc:"Stretch a query (Def. 10) and verify the Section 5.2 diagram."
   in
-  Cmd.v info Term.(const run $ file_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ file_arg)
 
 let dimacs_cmd =
   let what_arg =
@@ -426,11 +470,12 @@ let dimacs_cmd =
              ~doc:"What to compute: count, kcount, shap, or wmc (uses the \
                    instance's weight lines, default 1/2).")
   in
-  let run what file =
+  let run stats trace what file =
     wrap (fun () ->
         let inst = Dimacs.parse_file file in
         let f = Dimacs.to_formula inst in
         let vars = Dimacs.variables inst in
+        with_obs ~stats ~trace @@ fun () ->
         match what with
         | "count" ->
           Printf.printf "%s\n" (Bigint.to_string (Dpll.count_universe ~vars f))
@@ -461,31 +506,34 @@ let dimacs_cmd =
     Cmd.info "dimacs"
       ~doc:"Count models / Shapley values of a DIMACS CNF instance."
   in
-  Cmd.v info Term.(const run $ what_arg $ cnf_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ what_arg $ cnf_arg)
 
 let export_nnf_cmd =
-  let run s =
+  let run stats trace s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          let vars = Vset.elements (Formula.vars f) in
-          let m = Obdd.create_manager ~order:vars in
-          let c = Obdd.to_circuit m (Obdd.of_formula m f) in
-          print_string
-            (Nnf_io.export c
-               ~num_vars:(Option.value ~default:0 (Vset.max_elt_opt (Formula.vars f)))))
+          with_obs ~stats ~trace (fun () ->
+              let vars = Vset.elements (Formula.vars f) in
+              let m = Obdd.create_manager ~order:vars in
+              let c = Obdd.to_circuit m (Obdd.of_formula m f) in
+              print_string
+                (Nnf_io.export c
+                   ~num_vars:
+                     (Option.value ~default:0
+                        (Vset.max_elt_opt (Formula.vars f))))))
   in
   let info =
     Cmd.info "export-nnf"
       ~doc:"Compile a formula (via OBDD) and print it in c2d NNF format."
   in
-  Cmd.v info Term.(const run $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ formula_arg)
 
 let count_nnf_cmd =
-  let run n file =
+  let run stats trace n file =
     wrap (fun () ->
         let c = Nnf_io.import_file file in
         let vars =
@@ -493,9 +541,10 @@ let count_nnf_cmd =
           | Some n -> List.init n succ
           | None -> Vset.elements (Circuit.vars c)
         in
-        Printf.printf "gates: %d\n" (Circuit.size c);
-        Printf.printf "count: %s\n" (Bigint.to_string (Count.count ~vars c));
-        print_shap [] (Circuit_shapley.shap_direct ~vars c))
+        with_obs ~stats ~trace (fun () ->
+            Printf.printf "gates: %d\n" (Circuit.size c);
+            Printf.printf "count: %s\n" (Bigint.to_string (Count.count ~vars c));
+            print_shap [] (Circuit_shapley.shap_direct ~vars c)))
   in
   let nnf_arg =
     Arg.(required & pos 0 (some file) None
@@ -505,7 +554,33 @@ let count_nnf_cmd =
     Cmd.info "count-nnf"
       ~doc:"Model count and Shapley values of an externally compiled d-DNNF."
   in
-  Cmd.v info Term.(const run $ universe_arg $ nnf_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ universe_arg $ nnf_arg)
+
+let trace_report_cmd =
+  let run file =
+    wrap (fun () ->
+        let events =
+          try Trace_export.read_jsonl_file file
+          with Failure m ->
+            failwith
+              (Printf.sprintf
+                 "%s\n(trace-report replays the JSONL format; record one \
+                  with --trace FILE.jsonl)"
+                 m)
+        in
+        print_string (Trace_export.report events))
+  in
+  let trace_file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.jsonl"
+             ~doc:"JSONL trace written by $(b,--trace FILE.jsonl).")
+  in
+  let info =
+    Cmd.info "trace-report"
+      ~doc:"Replay a recorded JSONL trace: indented timeline, per-phase \
+            aggregates and per-oracle totals."
+  in
+  Cmd.v info Term.(const run $ trace_file_arg)
 
 let main =
   let doc =
@@ -517,6 +592,6 @@ let main =
   Cmd.group info
     [ count_cmd; kcount_cmd; shap_cmd; banzhaf_cmd; approx_cmd; prob_cmd;
       factor_cmd; compile_cmd; classify_cmd; lineage_cmd; stretch_cmd;
-      dimacs_cmd; export_nnf_cmd; count_nnf_cmd ]
+      dimacs_cmd; export_nnf_cmd; count_nnf_cmd; trace_report_cmd ]
 
 let () = exit (Cmd.eval main)

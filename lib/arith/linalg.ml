@@ -6,7 +6,9 @@
 
 let vandermonde_solve ~points ~values =
   Obs.incr "linalg.vandermonde_solves";
-  Obs.with_span "linalg.vandermonde_solve" @@ fun () ->
+  Obs.with_span "linalg.vandermonde_solve"
+    ~attrs:[ ("nodes", Trace.Int (Array.length points)) ]
+  @@ fun () ->
   let m = Array.length points in
   if Array.length values <> m then
     invalid_arg "Linalg.vandermonde_solve: length mismatch";
@@ -40,7 +42,9 @@ let vandermonde_solve ~points ~values =
 
 let gauss_solve a b =
   Obs.incr "linalg.gauss_solves";
-  Obs.with_span "linalg.gauss_solve" @@ fun () ->
+  Obs.with_span "linalg.gauss_solve"
+    ~attrs:[ ("rows", Trace.Int (Array.length a)) ]
+  @@ fun () ->
   let n = Array.length a in
   if n = 0 then Some [||]
   else begin

@@ -37,7 +37,11 @@ let block_subst ?universe ~kind ~combine ~widths f =
   let g = apply theta f in
   if Obs.enabled () then
     Obs.record_subst ~kind ~pre:(Formula.size f) ~post:(Formula.size g)
-      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 blocks);
+      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 blocks)
+      ~width:
+        (List.fold_left (fun acc (_, zs) -> max acc (List.length zs)) (-1)
+           blocks)
+      ();
   (g, blocks)
 
 let or_subst ?universe ~widths f =

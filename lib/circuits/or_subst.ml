@@ -65,7 +65,11 @@ let or_subst ?universe ~widths root =
   if Obs.enabled () then
     Obs.record_subst ~kind:"circuit.or" ~pre:(Circuit.size root)
       ~post:(Circuit.size root')
-      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 !blocks);
+      ~fresh:(List.fold_left (fun acc (_, zs) -> acc + List.length zs) 0 !blocks)
+      ~width:
+        (List.fold_left (fun acc (_, zs) -> max acc (List.length zs)) (-1)
+           !blocks)
+      ();
   (root', List.rev !blocks)
 
 let uniform_or ?universe ~l g = or_subst ?universe ~widths:(fun _ -> l) g

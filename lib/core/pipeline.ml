@@ -27,19 +27,20 @@ let sorted_universe ~vars f =
 
 (* Every oracle consultation goes through these wrappers so the Obs ledger
    records the paper's cost measure: which oracle, on how many variables,
-   at which substitution arity ℓ, on how large an instance.  The metadata
-   (sizes, lengths) is only computed when the ledger is live. *)
-let ledgered_count ~oracle ?arity ~vars f =
+   at which substitution arity ℓ, on how large an instance — and, when a
+   trace is recording, which lemma issued the call.  The metadata (sizes,
+   lengths) is only computed when the ledger is live. *)
+let ledgered_count ~oracle ?arity ?attrs ~vars f =
   if not (Obs.enabled ()) then oracle.count ~vars f
   else
-    Obs.call ~oracle:oracle.oracle_name ~n:(List.length vars) ?arity
+    Obs.call ~oracle:oracle.oracle_name ~n:(List.length vars) ?arity ?attrs
       ~size:(Formula.size f)
       (fun () -> oracle.count ~vars f)
 
-let ledgered_shap ~oracle ?arity ~vars f =
+let ledgered_shap ~oracle ?arity ?attrs ~vars f =
   if not (Obs.enabled ()) then oracle.shap ~vars f
   else
-    Obs.call ~oracle:oracle.shap_name ~n:(List.length vars) ?arity
+    Obs.call ~oracle:oracle.shap_name ~n:(List.length vars) ?arity ?attrs
       ~size:(Formula.size f)
       (fun () -> oracle.shap ~vars f)
 
@@ -47,10 +48,14 @@ let ledgered_shap ~oracle ?arity ~vars f =
 let kcounts_via_count_oracle ~oracle ~vars f =
   let universe, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
-  Obs.with_span "pipeline.kcounts_via_count_oracle" @@ fun () ->
+  Obs.with_span "pipeline.kcounts_via_count_oracle"
+    ~attrs:[ ("n", Trace.Int n) ]
+  @@ fun () ->
   Reductions.kcounts_via_counting ~n ~count_subst:(fun ~l ->
       let g, blocks = Subst.uniform_or ~universe ~l f in
-      ledgered_count ~oracle ~arity:l ~vars:(List.concat_map snd blocks) g)
+      ledgered_count ~oracle ~arity:l
+        ~attrs:[ ("lemma", Trace.Str "3.3") ]
+        ~vars:(List.concat_map snd blocks) g)
 
 (* Lemma 3.2 over Lemma 3.3: the full Shap(C) ≤P #~C chain.  Following the
    proof, the #_*-oracle is consulted on the isomorphic copy ~F and on the
@@ -58,8 +63,11 @@ let kcounts_via_count_oracle ~oracle ~vars f =
 let shap_via_count_oracle ~oracle ~vars f =
   let universe, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
-  Obs.with_span "pipeline.shap_via_count_oracle" @@ fun () ->
+  Obs.with_span "pipeline.shap_via_count_oracle"
+    ~attrs:[ ("n", Trace.Int n) ]
+  @@ fun () ->
   let kcount_full =
+    Obs.phase "lemma3.2.full" ~attrs:[ ("n", Trace.Int n) ];
     let tilde_f, blocks = Subst.isomorphic_copy ~universe f in
     kcounts_via_count_oracle ~oracle
       ~vars:(List.concat_map snd blocks)
@@ -67,6 +75,7 @@ let shap_via_count_oracle ~oracle ~vars f =
   in
   let kcount_drop pos =
     let i = List.nth sorted pos in
+    Obs.phase "lemma3.2.drop" ~attrs:[ ("i", Trace.Int i) ];
     let tilde_f', blocks =
       Subst.zap ~universe ~zero:(Vset.singleton i) f
     in
@@ -82,7 +91,12 @@ let shap_subst_of_oracle ~oracle ~universe ~sorted f ~l ~pos =
   let i = List.nth sorted pos in
   let g, z, blocks = Subst.uniform_or_except ~universe ~l ~keep:i f in
   let gvars = List.concat_map snd blocks in
-  match List.assoc_opt z (ledgered_shap ~oracle ~arity:l ~vars:gvars g) with
+  match
+    List.assoc_opt z
+      (ledgered_shap ~oracle ~arity:l
+         ~attrs:[ ("lemma", Trace.Str "3.4") ]
+         ~vars:gvars g)
+  with
   | Some v -> v
   | None -> failwith "Pipeline: Shapley oracle did not report Z_i"
 
@@ -125,6 +139,7 @@ let ledgered_prob ~oracle ~theta ~vars f =
   else
     Obs.call ~oracle:oracle.pqe_name ~n:(List.length vars)
       ~size:(Formula.size f)
+      ~attrs:[ ("lemma", Trace.Str "pqe") ]
       (fun () -> oracle.prob ~theta ~vars f)
 
 let kcounts_via_pqe_oracle ~oracle ~vars f =

@@ -5,7 +5,9 @@ let or_points ~count =
    unknowns; every solution in the paper's systems is an integer vector
    (model counts), so a non-integer solution indicates an oracle bug. *)
 let solve_integer_vandermonde ~points ~values ~what =
-  Obs.with_span "reductions.solve_integer_vandermonde" @@ fun () ->
+  Obs.with_span "reductions.solve_integer_vandermonde"
+    ~attrs:[ ("nodes", Trace.Int (Array.length points)); ("for", Trace.Str what) ]
+  @@ fun () ->
   let sol = Linalg.vandermonde_solve ~points ~values in
   Array.map
     (fun r ->
@@ -41,11 +43,15 @@ let shap_via_kcounts ~n ~kcount_full ~kcount_drop =
 (* Lemma 3.3 *)
 
 let kcounts_via_counting ~n ~count_subst =
-  Obs.with_span "reductions.kcounts_via_counting" @@ fun () ->
+  Obs.with_span "reductions.kcounts_via_counting"
+    ~attrs:[ ("n", Trace.Int n) ]
+  @@ fun () ->
   let points = or_points ~count:(n + 1) in
+  Obs.phase "lemma3.3.consult" ~attrs:[ ("n", Trace.Int n) ];
   let values =
     Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))
   in
+  Obs.phase "lemma3.3.solve" ~attrs:[ ("n", Trace.Int n) ];
   let counts =
     solve_integer_vandermonde ~points ~values ~what:"kcounts_via_counting"
   in
@@ -154,6 +160,7 @@ let kcounts_via_shap ~n ~f_zero ~shap_subst =
      #_0 F = F(0). *)
   let sums = Array.make n Bigint.zero in
   for pos = 0 to n - 1 do
+    Obs.phase "lemma3.4.position" ~attrs:[ ("pos", Trace.Int pos) ];
     let d = differences_for_position ~n ~shap_subst ~pos in
     Array.iteri (fun k dk -> sums.(k) <- Bigint.add sums.(k) dk) d
   done;

@@ -1,6 +1,17 @@
 (* Global mutable state behind a single [enabled] flag.  Recording entry
    points check the flag first, so when observation is off an instrumented
-   call site costs one load + branch (plus the closure it already built). *)
+   call site costs one load + branch (plus the closure it already built).
+
+   Raw ledgers (the [calls]/[substs] lists) are bounded by [ledger_cap]:
+   past the cap new entries only bump a dropped counter, while the
+   per-oracle / per-kind aggregates — maintained incrementally on every
+   record — stay exact, so long benchmark runs cannot grow memory without
+   bound and totals remain trustworthy.
+
+   When a {!Trace} stream is being recorded, every entry point also emits
+   a chronological event, which is how the [--trace] timeline gets its
+   span begin/end, oracle-call, substitution and counter events without
+   any extra instrumentation at the call sites. *)
 
 type span_stat = { span_path : string; span_calls : int; span_seconds : float }
 
@@ -17,6 +28,7 @@ type subst_event = {
   subst_pre : int;
   subst_post : int;
   subst_fresh : int;
+  subst_width : int;
 }
 
 let enabled_flag = ref false
@@ -26,9 +38,47 @@ let disable () = enabled_flag := false
 
 let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
 
-(* Ledgers are prepended to and reversed on read-back. *)
+(* Raw ledgers are prepended to and reversed on read-back; [*_stored]
+   track list lengths so cap checks are O(1). *)
+let default_ledger_cap = 65536
+let ledger_cap_r = ref default_ledger_cap
+let ledger_cap () = !ledger_cap_r
+let set_ledger_cap n = ledger_cap_r := max 0 n
+
 let calls_log : call list ref = ref []
+let calls_stored = ref 0
+let calls_dropped_n = ref 0
 let substs_log : subst_event list ref = ref []
+let substs_stored = ref 0
+let substs_dropped_n = ref 0
+
+let dropped_calls () = !calls_dropped_n
+let dropped_substs () = !substs_dropped_n
+
+(* Exact per-oracle aggregates, updated on every record (also past the
+   raw-ledger cap): calls, n range, arity range, max size, total time. *)
+type agg = {
+  mutable a_calls : int;
+  mutable a_n_min : int;
+  mutable a_n_max : int;
+  mutable a_l_min : int;
+  mutable a_l_max : int;
+  mutable a_size_max : int;
+  mutable a_seconds : float;
+}
+
+let agg_tbl : (string, agg) Hashtbl.t = Hashtbl.create 8
+let calls_total = ref 0
+
+(* Exact per-kind substitution aggregates: count, max pre/post, fresh sum. *)
+type subst_agg = {
+  mutable s_count : int;
+  mutable s_pre_max : int;
+  mutable s_post_max : int;
+  mutable s_fresh : int;
+}
+
+let subst_agg_tbl : (string, subst_agg) Hashtbl.t = Hashtbl.create 4
 
 (* Span aggregation: path -> (calls, total seconds); [span_stack] holds
    the current path so nested spans compose hierarchically. *)
@@ -38,7 +88,14 @@ let span_stack : string list ref = ref []
 let reset () =
   Hashtbl.reset counters_tbl;
   calls_log := [];
+  calls_stored := 0;
+  calls_dropped_n := 0;
+  calls_total := 0;
+  Hashtbl.reset agg_tbl;
   substs_log := [];
+  substs_stored := 0;
+  substs_dropped_n := 0;
+  Hashtbl.reset subst_agg_tbl;
   Hashtbl.reset spans_tbl;
   span_stack := []
 
@@ -48,10 +105,18 @@ let now = Unix.gettimeofday
 (* Counters *)
 
 let add name k =
-  if !enabled_flag then
-    match Hashtbl.find_opt counters_tbl name with
-    | Some r -> r := !r + k
-    | None -> Hashtbl.replace counters_tbl name (ref k)
+  if !enabled_flag then begin
+    let total =
+      match Hashtbl.find_opt counters_tbl name with
+      | Some r ->
+        r := !r + k;
+        !r
+      | None ->
+        Hashtbl.replace counters_tbl name (ref k);
+        k
+    in
+    if Trace.recording () then Trace.counter ~value:total name
+  end
 
 let incr name = add name 1
 
@@ -65,17 +130,21 @@ let counters () =
 (* ------------------------------------------------------------------ *)
 (* Spans *)
 
-let with_span name f =
+let with_span ?attrs name f =
   if not !enabled_flag then f ()
   else begin
     let path =
       match !span_stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
     in
     span_stack := path :: !span_stack;
+    if Trace.recording () then Trace.span_begin ?attrs name;
     let t0 = now () in
     let finish () =
-      let dt = now () -. t0 in
+      (* Unix.gettimeofday is not monotonic: clamp so a clock step back
+         cannot produce a negative duration. *)
+      let dt = Float.max 0.0 (now () -. t0) in
       (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+      if Trace.recording () then Trace.span_end name;
       match Hashtbl.find_opt spans_tbl path with
       | Some r ->
         let c, t = !r in
@@ -102,22 +171,66 @@ let spans () =
 (* ------------------------------------------------------------------ *)
 (* Oracle-call ledger *)
 
+let agg_update ~oracle ~n ~arity ~size ~seconds =
+  let a =
+    match Hashtbl.find_opt agg_tbl oracle with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_calls = 0; a_n_min = max_int; a_n_max = -1; a_l_min = max_int;
+          a_l_max = -1; a_size_max = -1; a_seconds = 0.0 }
+      in
+      Hashtbl.replace agg_tbl oracle a;
+      a
+  in
+  a.a_calls <- a.a_calls + 1;
+  a.a_n_min <- min a.a_n_min n;
+  a.a_n_max <- max a.a_n_max n;
+  if arity >= 0 then begin
+    a.a_l_min <- min a.a_l_min arity;
+    a.a_l_max <- max a.a_l_max arity
+  end;
+  a.a_size_max <- max a.a_size_max size;
+  a.a_seconds <- a.a_seconds +. seconds
+
+(* Shared recording core: ledger entry (capped), exact aggregate, trace
+   event.  [at] is the absolute start stamp of the timed region. *)
+let record_call ~oracle ~n ~arity ~size ~seconds ~at ~attrs =
+  let seconds = Float.max 0.0 seconds in
+  calls_total := !calls_total + 1;
+  agg_update ~oracle ~n ~arity ~size ~seconds;
+  if !calls_stored < !ledger_cap_r then begin
+    calls_log :=
+      { call_oracle = oracle; call_n = n; call_arity = arity;
+        call_size = size; call_seconds = seconds }
+      :: !calls_log;
+    calls_stored := !calls_stored + 1
+  end
+  else calls_dropped_n := !calls_dropped_n + 1;
+  if Trace.recording () then begin
+    let trace_attrs =
+      (("n", Trace.Int n) :: attrs)
+      @ (if arity >= 0 then [ ("l", Trace.Int arity) ] else [])
+      @ (if size >= 0 then [ ("size", Trace.Int size) ] else [])
+      @ (match !span_stack with
+         | path :: _ -> [ ("span", Trace.Str path) ]
+         | [] -> [])
+    in
+    Trace.oracle ~at ~dur:seconds ~attrs:trace_attrs oracle
+  end
+
 let record ~oracle ~n ?(arity = -1) ?(size = -1) ~seconds () =
   if !enabled_flag then
-    calls_log :=
-      { call_oracle = oracle;
-        call_n = n;
-        call_arity = arity;
-        call_size = size;
-        call_seconds = seconds }
-      :: !calls_log
+    record_call ~oracle ~n ~arity ~size ~seconds
+      ~at:(now () -. Float.max 0.0 seconds)
+      ~attrs:[]
 
-let call ~oracle ~n ?arity ?size f =
+let call ~oracle ~n ?(arity = -1) ?(size = -1) ?(attrs = []) f =
   if not !enabled_flag then f ()
   else begin
     let t0 = now () in
     let r = f () in
-    record ~oracle ~n ?arity ?size ~seconds:(now () -. t0) ();
+    record_call ~oracle ~n ~arity ~size ~seconds:(now () -. t0) ~at:t0 ~attrs;
     r
   end
 
@@ -125,69 +238,72 @@ let calls () = List.rev !calls_log
 
 let call_count ?oracle () =
   match oracle with
-  | None -> List.length !calls_log
-  | Some name ->
-    List.length (List.filter (fun c -> c.call_oracle = name) !calls_log)
+  | None -> !calls_total
+  | Some name -> (
+      match Hashtbl.find_opt agg_tbl name with
+      | Some a -> a.a_calls
+      | None -> 0)
 
 (* ------------------------------------------------------------------ *)
 (* Substitution ledger *)
 
-let record_subst ~kind ~pre ~post ~fresh =
-  if !enabled_flag then
-    substs_log :=
-      { subst_kind = kind; subst_pre = pre; subst_post = post;
-        subst_fresh = fresh }
-      :: !substs_log
+let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
+  if !enabled_flag then begin
+    (match Hashtbl.find_opt subst_agg_tbl kind with
+     | Some s ->
+       s.s_count <- s.s_count + 1;
+       s.s_pre_max <- max s.s_pre_max pre;
+       s.s_post_max <- max s.s_post_max post;
+       s.s_fresh <- s.s_fresh + fresh
+     | None ->
+       Hashtbl.replace subst_agg_tbl kind
+         { s_count = 1; s_pre_max = pre; s_post_max = post; s_fresh = fresh });
+    if !substs_stored < !ledger_cap_r then begin
+      substs_log :=
+        { subst_kind = kind; subst_pre = pre; subst_post = post;
+          subst_fresh = fresh; subst_width = width }
+        :: !substs_log;
+      substs_stored := !substs_stored + 1
+    end
+    else substs_dropped_n := !substs_dropped_n + 1;
+    if Trace.recording () then
+      Trace.subst
+        ~attrs:
+          ([ ("pre", Trace.Int pre); ("post", Trace.Int post);
+             ("fresh", Trace.Int fresh) ]
+           @ if width >= 0 then [ ("width", Trace.Int width) ] else [])
+        kind
+  end
 
 let substs () = List.rev !substs_log
 
 (* ------------------------------------------------------------------ *)
+(* Phase markers *)
+
+let phase ?attrs name =
+  if !enabled_flag && Trace.recording () then Trace.phase ?attrs name
+
+(* ------------------------------------------------------------------ *)
 (* Reports *)
 
-(* Per-oracle aggregate of the call ledger:
-   (calls, min n, max n, min l, max l, max size, total seconds). *)
-type agg = {
-  mutable a_calls : int;
-  mutable a_n_min : int;
-  mutable a_n_max : int;
-  mutable a_l_min : int;
-  mutable a_l_max : int;
-  mutable a_size_max : int;
-  mutable a_seconds : float;
-}
-
 let aggregate () =
-  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun c ->
-       let a =
-         match Hashtbl.find_opt tbl c.call_oracle with
-         | Some a -> a
-         | None ->
-           let a =
-             { a_calls = 0; a_n_min = max_int; a_n_max = -1;
-               a_l_min = max_int; a_l_max = -1; a_size_max = -1;
-               a_seconds = 0.0 }
-           in
-           Hashtbl.replace tbl c.call_oracle a;
-           a
-       in
-       a.a_calls <- a.a_calls + 1;
-       a.a_n_min <- min a.a_n_min c.call_n;
-       a.a_n_max <- max a.a_n_max c.call_n;
-       if c.call_arity >= 0 then begin
-         a.a_l_min <- min a.a_l_min c.call_arity;
-         a.a_l_max <- max a.a_l_max c.call_arity
-       end;
-       a.a_size_max <- max a.a_size_max c.call_size;
-       a.a_seconds <- a.a_seconds +. c.call_seconds)
-    (calls ());
-  List.sort compare (Hashtbl.fold (fun k a acc -> (k, a) :: acc) tbl [])
+  List.sort compare
+    (Hashtbl.fold
+       (fun k a acc ->
+          (* copy: callers must not see (or mutate) the live record *)
+          (k, { a with a_calls = a.a_calls }) :: acc)
+       agg_tbl [])
 
 let range lo hi =
   if hi < 0 then "-"
   else if lo = hi then string_of_int lo
   else Printf.sprintf "%d..%d" lo hi
+
+let subst_aggregate () =
+  List.sort compare
+    (Hashtbl.fold
+       (fun k s acc -> (k, (s.s_count, s.s_pre_max, s.s_post_max, s.s_fresh)) :: acc)
+       subst_agg_tbl [])
 
 let pp_report ppf () =
   let open Format in
@@ -204,30 +320,26 @@ let pp_report ppf () =
            (range a.a_l_min a.a_l_max)
            (if a.a_size_max < 0 then "-" else string_of_int a.a_size_max)
            a.a_seconds)
-      aggs
+      aggs;
+    if !calls_dropped_n > 0 then
+      fprintf ppf "  (raw call ledger capped at %d entries; %d dropped, \
+                   aggregates exact)@\n"
+        !ledger_cap_r !calls_dropped_n
   end;
-  (match substs () with
+  (match subst_aggregate () with
    | [] -> ()
-   | evs ->
+   | rows ->
      fprintf ppf "substitutions:@\n";
      fprintf ppf "  %-14s %8s %10s %10s %8s@\n" "kind" "count" "max-pre"
        "max-post" "fresh";
-     let tbl = Hashtbl.create 4 in
-     List.iter
-       (fun e ->
-          let c, pre, post, fresh =
-            Option.value ~default:(0, 0, 0, 0)
-              (Hashtbl.find_opt tbl e.subst_kind)
-          in
-          Hashtbl.replace tbl e.subst_kind
-            ( c + 1, max pre e.subst_pre, max post e.subst_post,
-              fresh + e.subst_fresh ))
-       evs;
      List.iter
        (fun (kind, (c, pre, post, fresh)) ->
           fprintf ppf "  %-14s %8d %10d %10d %8d@\n" kind c pre post fresh)
-       (List.sort compare
-          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])));
+       rows;
+     if !substs_dropped_n > 0 then
+       fprintf ppf "  (raw subst ledger capped at %d entries; %d dropped, \
+                    aggregates exact)@\n"
+         !ledger_cap_r !substs_dropped_n);
   (match counters () with
    | [] -> ()
    | cs ->
@@ -267,7 +379,14 @@ let json_obj fields =
 
 let json_list items = "[" ^ String.concat "," items ^ "]"
 let json_str s = "\"" ^ json_escape s ^ "\""
-let json_float f = Printf.sprintf "%.6f" f
+
+(* Wall-clock differences can be nan/inf if the clock misbehaves; a bare
+   "nan" token would make the whole document unparseable. *)
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1.0e308"
+  else if f = Float.neg_infinity then "-1.0e308"
+  else Printf.sprintf "%.6f" f
 
 let to_json () =
   json_obj
@@ -297,6 +416,9 @@ let to_json () =
                       ("size_max", string_of_int a.a_size_max);
                       ("seconds", json_float a.a_seconds) ] ))
              (aggregate ())) );
+      ("calls_total", string_of_int !calls_total);
+      ("calls_dropped", string_of_int !calls_dropped_n);
+      ("substs_dropped", string_of_int !substs_dropped_n);
       ( "calls",
         json_list
           (List.map
@@ -316,5 +438,6 @@ let to_json () =
                   [ ("kind", json_str e.subst_kind);
                     ("pre", string_of_int e.subst_pre);
                     ("post", string_of_int e.subst_post);
-                    ("fresh", string_of_int e.subst_fresh) ])
+                    ("fresh", string_of_int e.subst_fresh);
+                    ("width", string_of_int e.subst_width) ])
              (substs ())) ) ]

@@ -13,7 +13,17 @@
     All state is global and disabled by default; every recording entry
     point first checks {!enabled}, so instrumented hot paths pay a single
     branch when observation is off.  Tests and the [--stats] CLI flag
-    bracket work with {!enable}/{!reset} and read the ledgers back. *)
+    bracket work with {!enable}/{!reset} and read the ledgers back.
+
+    The raw ledgers are bounded ({!ledger_cap}, default 65536 entries
+    per ledger): past the cap, new entries are counted in
+    {!dropped_calls}/{!dropped_substs} but not stored, while the
+    aggregates ({!aggregate}, {!call_count}, the [--stats] tables)
+    remain exact, so unbounded runs cannot grow memory without bound.
+
+    When a {!Trace} stream is recording (see [--trace]), every entry
+    point additionally emits a chronological trace event; tracing
+    requires {!enabled} to be on. *)
 
 (** {1 Switch} *)
 
@@ -22,8 +32,19 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 (** [reset ()] clears all counters, spans and ledgers (but not the
-    enabled flag). *)
+    enabled flag or the ledger cap). *)
 val reset : unit -> unit
+
+(** {1 Ledger bounds} *)
+
+val ledger_cap : unit -> int
+val set_ledger_cap : int -> unit
+
+(** Entries discarded from the respective raw ledger since the last
+    {!reset} (aggregates stayed exact). *)
+val dropped_calls : unit -> int
+
+val dropped_substs : unit -> int
 
 (** {1 Counters} *)
 
@@ -48,8 +69,11 @@ val counters : unit -> (string * int) list
 type span_stat = { span_path : string; span_calls : int; span_seconds : float }
 
 (** [with_span name f] runs [f ()] inside span [name]; when disabled it
-    is exactly [f ()]. *)
-val with_span : string -> (unit -> 'a) -> 'a
+    is exactly [f ()].  Durations are clamped to [>= 0] (the wall clock
+    is not monotonic).  [attrs] ride on the trace begin-event when a
+    trace is recording. *)
+val with_span :
+  ?attrs:(string * Trace.value) list -> string -> (unit -> 'a) -> 'a
 
 (** Aggregated spans, sorted by path. *)
 val spans : unit -> span_stat list
@@ -66,22 +90,43 @@ type call = {
 }
 
 (** [record ~oracle ~n ?arity ?size ~seconds ()] appends to the ledger
-    (no-op when disabled). *)
+    (no-op when disabled).  Negative [seconds] are clamped to [0]. *)
 val record :
   oracle:string -> n:int -> ?arity:int -> ?size:int -> seconds:float ->
   unit -> unit
 
 (** [call ~oracle ~n ?arity ?size f] times [f ()] and ledgers it; when
-    disabled it is exactly [f ()]. *)
+    disabled it is exactly [f ()].  [attrs] (e.g. the lemma that issued
+    the consultation) ride on the trace event when a trace is
+    recording. *)
 val call :
-  oracle:string -> n:int -> ?arity:int -> ?size:int -> (unit -> 'a) -> 'a
+  oracle:string -> n:int -> ?arity:int -> ?size:int ->
+  ?attrs:(string * Trace.value) list -> (unit -> 'a) -> 'a
 
 (** Ledgered calls in chronological order. *)
 val calls : unit -> call list
 
-(** [call_count ()] is the ledger length; [call_count ~oracle ()]
-    restricts to one oracle name. *)
+(** [call_count ()] is the total number of recorded calls (exact even
+    past the ledger cap); [call_count ~oracle ()] restricts to one
+    oracle name. *)
 val call_count : ?oracle:string -> unit -> int
+
+(** Per-oracle aggregate, maintained incrementally and exact even when
+    the raw ledger is capped: call count, [n]/[ℓ] ranges ([l] fields are
+    [max_int]/[-1] when no call carried an arity), max instance size,
+    total seconds. *)
+type agg = {
+  mutable a_calls : int;
+  mutable a_n_min : int;
+  mutable a_n_max : int;
+  mutable a_l_min : int;
+  mutable a_l_max : int;
+  mutable a_size_max : int;
+  mutable a_seconds : float;
+}
+
+(** Aggregates per oracle name, sorted; the records are copies. *)
+val aggregate : unit -> (string * agg) list
 
 (** {1 Substitution ledger (Lemma 9 witnesses)} *)
 
@@ -91,10 +136,22 @@ type subst_event = {
   subst_post : int;  (** instance size after substitution *)
   subst_fresh : int;  (** total fresh variables introduced (Σ widths, the
                           [k·ℓ] of Lemma 9 for uniform width [ℓ]) *)
+  subst_width : int;  (** maximum block width [ℓ]; [-1] when unknown *)
 }
 
-val record_subst : kind:string -> pre:int -> post:int -> fresh:int -> unit
+val record_subst :
+  ?width:int -> kind:string -> pre:int -> post:int -> fresh:int -> unit ->
+  unit
+
 val substs : unit -> subst_event list
+
+(** {1 Phase markers}
+
+    [phase name] drops an instant marker into the trace stream (e.g.
+    ["lemma3.2.drop"] before each zapped instance), so the timeline can
+    attribute oracle calls to pipeline phases.  No-op unless both
+    {!enabled} and a trace are recording. *)
+val phase : ?attrs:(string * Trace.value) list -> string -> unit
 
 (** {1 Reports} *)
 
@@ -104,7 +161,13 @@ val pp_report : Format.formatter -> unit -> unit
 
 val report : unit -> string
 
+val json_float : float -> string
+(** A float as a valid JSON token: [null] for NaN, [±1.0e308] for the
+    infinities, [%.17g] (round-trip precision) otherwise. *)
+
 (** The full current state as a JSON object with fields ["counters"],
-    ["spans"], ["oracle_calls"] (aggregated per oracle), ["calls"] (the
-    raw ledger) and ["substs"]. *)
+    ["spans"], ["oracle_calls"] (aggregated per oracle),
+    ["calls_total"], ["calls_dropped"], ["substs_dropped"], ["calls"]
+    (the raw, possibly capped ledger) and ["substs"].  Non-finite
+    floats are emitted as valid JSON ([null] / [±1.0e308]). *)
 val to_json : unit -> string

@@ -1,0 +1,99 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind = Span_begin | Span_end | Oracle | Subst | Phase | Counter
+
+type event = {
+  seq : int;
+  at : float;
+  depth : int;
+  kind : kind;
+  name : string;
+  dur : float option;
+  attrs : (string * value) list;
+}
+
+let kind_name = function
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"
+  | Oracle -> "oracle"
+  | Subst -> "subst"
+  | Phase -> "phase"
+  | Counter -> "counter"
+
+let kind_of_name = function
+  | "span_begin" -> Some Span_begin
+  | "span_end" -> Some Span_end
+  | "oracle" -> Some Oracle
+  | "subst" -> Some Subst
+  | "phase" -> Some Phase
+  | "counter" -> Some Counter
+  | _ -> None
+
+let default_cap = 65536
+
+(* Events are prepended and reversed on read-back; [stored] tracks the
+   list length so the cap check is O(1). *)
+let recording_flag = ref false
+let cap = ref default_cap
+let events_rev : event list ref = ref []
+let stored = ref 0
+let dropped_n = ref 0
+let seq_next = ref 0
+let depth_now = ref 0
+let t0 = ref 0.0
+
+let now = Unix.gettimeofday
+
+let recording () = !recording_flag
+
+let clear () =
+  recording_flag := false;
+  events_rev := [];
+  stored := 0;
+  dropped_n := 0;
+  seq_next := 0;
+  depth_now := 0
+
+let start ?cap:(c = default_cap) () =
+  clear ();
+  cap := max 0 c;
+  t0 := now ();
+  recording_flag := true
+
+let stop () = recording_flag := false
+
+let emitted () = !seq_next
+let dropped () = !dropped_n
+let events () = List.rev !events_rev
+
+let push ev =
+  if !stored < !cap then begin
+    events_rev := ev :: !events_rev;
+    incr stored
+  end
+  else incr dropped_n
+
+let emit ?at ?dur ?(attrs = []) ~kind name =
+  if !recording_flag then begin
+    let t =
+      (match at with Some t -> t | None -> now ()) -. !t0
+    in
+    let t = if t < 0.0 then 0.0 else t in
+    let seq = !seq_next in
+    incr seq_next;
+    (* A Span_end is recorded at the depth of its matching begin. *)
+    (match kind with
+     | Span_end -> if !depth_now > 0 then decr depth_now
+     | _ -> ());
+    push { seq; at = t; depth = !depth_now; kind; name; dur; attrs };
+    match kind with Span_begin -> incr depth_now | _ -> ()
+  end
+
+let span_begin ?attrs name = emit ?attrs ~kind:Span_begin name
+let span_end ?attrs name = emit ?attrs ~kind:Span_end name
+
+let oracle ?at ~dur ?attrs name = emit ?at ~dur ?attrs ~kind:Oracle name
+
+let subst ?attrs name = emit ?attrs ~kind:Subst name
+let phase ?attrs name = emit ?attrs ~kind:Phase name
+let counter ~value name = emit ~attrs:[ ("value", Int value) ] ~kind:Counter name

@@ -1,0 +1,97 @@
+(** Bounded chronological event stream — the raw material of a trace.
+
+    Where {!Obs} keeps {e aggregates} (how many oracle calls, how much
+    time per span), [Trace] keeps the {e chronology}: one event per span
+    begin/end, oracle consultation, substitution, pipeline phase marker
+    and counter update, each stamped with a monotone sequence number, a
+    timestamp relative to {!start}, and the span-nesting depth at which
+    it happened.  A recorded stream can be exported to Chrome
+    [trace_event] JSON (Perfetto) or compact JSONL by {!Trace_export}.
+
+    The stream is bounded: once [cap] events (default {!default_cap})
+    have been stored, further events are counted in {!dropped} but not
+    kept, so tracing a long benchmark run cannot grow memory without
+    bound.  The kept prefix stays chronological.
+
+    Like {!Obs}, all state is global and recording is off by default.
+    Emission entry points check {!recording} first, so instrumented
+    paths pay one load + branch when tracing is off.  [Trace] is
+    deliberately independent of [Obs] (no cycle): [Obs] forwards its
+    instrumentation points here when a trace is being recorded. *)
+
+(** Attribute values carried by events. *)
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Span_begin  (** a {!Obs.with_span} region opened *)
+  | Span_end  (** the matching region closed *)
+  | Oracle  (** one counting/Shapley/PQE-oracle consultation *)
+  | Subst  (** one OR/AND-substitution (Lemma 9 witness) *)
+  | Phase  (** an instant pipeline-phase marker *)
+  | Counter  (** a named counter reached a new total *)
+
+type event = {
+  seq : int;  (** monotone sequence number, starting at 0 *)
+  at : float;  (** seconds since {!start} (clamped to be [>= 0]) *)
+  depth : int;  (** span-nesting depth; [Span_end] is recorded at the
+                    depth of its matching [Span_begin] *)
+  kind : kind;
+  name : string;  (** span/oracle/phase/counter name or subst kind *)
+  dur : float option;  (** wall-clock duration in seconds ([Oracle]
+                           events; [None] elsewhere) *)
+  attrs : (string * value) list;  (** key/value payload, e.g. [n], [l],
+                                      [size], [lemma] on oracle events *)
+}
+
+val kind_name : kind -> string
+(** Stable lowercase name ("span_begin", "oracle", ...) used by the
+    export formats. *)
+
+val kind_of_name : string -> kind option
+
+(** {1 Recording} *)
+
+val default_cap : int
+(** 65536 events. *)
+
+val start : ?cap:int -> unit -> unit
+(** [start ()] clears any previous stream, stamps time zero and begins
+    recording at most [cap] events. *)
+
+val stop : unit -> unit
+(** Stop recording; the stream stays readable until the next {!start}
+    or {!clear}. *)
+
+val recording : unit -> bool
+val clear : unit -> unit
+
+(** {1 Emission}
+
+    All emitters are no-ops unless {!recording}. *)
+
+val emit :
+  ?at:float -> ?dur:float -> ?attrs:(string * value) list -> kind:kind ->
+  string -> unit
+(** [emit ~kind name] records one event.  [at] is an absolute
+    [Unix.gettimeofday] stamp (defaults to now) converted to
+    trace-relative seconds; pass the start time of a timed region so
+    the event sits where the work began. *)
+
+val span_begin : ?attrs:(string * value) list -> string -> unit
+val span_end : ?attrs:(string * value) list -> string -> unit
+val oracle :
+  ?at:float -> dur:float -> ?attrs:(string * value) list -> string -> unit
+val subst : ?attrs:(string * value) list -> string -> unit
+val phase : ?attrs:(string * value) list -> string -> unit
+val counter : value:int -> string -> unit
+
+(** {1 Read-back} *)
+
+val events : unit -> event list
+(** Stored events in chronological order. *)
+
+val emitted : unit -> int
+(** Total events emitted since {!start}, including dropped ones. *)
+
+val dropped : unit -> int
+(** Events discarded because the stream was full. *)

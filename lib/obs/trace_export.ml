@@ -1,0 +1,367 @@
+(* ------------------------------------------------------------------ *)
+(* JSON writing primitives *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 32 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+(* Round-trip float syntax: %.17g preserves every finite double, and a
+   forced fraction mark keeps the value a Float on read-back.  Non-finite
+   inputs must still produce valid JSON. *)
+let float_str f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1.0e308"
+  else if f = Float.neg_infinity then "-1.0e308"
+  else
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let value_json = function
+  | Trace.Int v -> string_of_int v
+  | Trace.Float f -> float_str f
+  | Trace.Str s -> quote s
+  | Trace.Bool b -> if b then "true" else "false"
+
+let attrs_json attrs =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> quote k ^ ":" ^ value_json v) attrs)
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON *)
+
+let chrome events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+     \"args\":{\"name\":\"shapmc\"}}";
+  List.iter
+    (fun (e : Trace.event) ->
+       let us = e.Trace.at *. 1e6 in
+       let common =
+         Printf.sprintf "\"name\":%s,\"pid\":1,\"tid\":1,\"ts\":%s"
+           (quote e.Trace.name) (float_str us)
+       in
+       let args = attrs_json e.Trace.attrs in
+       let ev =
+         match e.Trace.kind with
+         | Trace.Span_begin ->
+           Printf.sprintf "{%s,\"cat\":\"span\",\"ph\":\"B\",\"args\":%s}"
+             common args
+         | Trace.Span_end ->
+           Printf.sprintf "{%s,\"cat\":\"span\",\"ph\":\"E\"}" common
+         | Trace.Oracle ->
+           let dur =
+             match e.Trace.dur with Some d -> d *. 1e6 | None -> 0.0
+           in
+           Printf.sprintf
+             "{%s,\"cat\":\"oracle\",\"ph\":\"X\",\"dur\":%s,\"args\":%s}"
+             common (float_str dur) args
+         | Trace.Subst ->
+           Printf.sprintf
+             "{%s,\"cat\":\"subst\",\"ph\":\"i\",\"s\":\"t\",\"args\":%s}"
+             common args
+         | Trace.Phase ->
+           Printf.sprintf
+             "{%s,\"cat\":\"phase\",\"ph\":\"i\",\"s\":\"t\",\"args\":%s}"
+             common args
+         | Trace.Counter ->
+           Printf.sprintf "{%s,\"cat\":\"counter\",\"ph\":\"C\",\"args\":%s}"
+             common args
+       in
+       Buffer.add_char b ',';
+       Buffer.add_string b ev)
+    events;
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSONL *)
+
+let event_line (e : Trace.event) =
+  let fields =
+    [ Printf.sprintf "\"seq\":%d" e.Trace.seq;
+      Printf.sprintf "\"t\":%s" (float_str e.Trace.at);
+      Printf.sprintf "\"depth\":%d" e.Trace.depth;
+      Printf.sprintf "\"kind\":%s" (quote (Trace.kind_name e.Trace.kind));
+      Printf.sprintf "\"name\":%s" (quote e.Trace.name) ]
+    @ (match e.Trace.dur with
+       | Some d -> [ Printf.sprintf "\"dur\":%s" (float_str d) ]
+       | None -> [])
+    @ [ Printf.sprintf "\"attrs\":%s" (attrs_json e.Trace.attrs) ]
+  in
+  "{" ^ String.concat "," fields ^ "}"
+
+let jsonl events =
+  String.concat "" (List.map (fun e -> event_line e ^ "\n") events)
+
+let value_of_json = function
+  | Tiny_json.Int v -> Trace.Int v
+  | Tiny_json.Float f -> Trace.Float f
+  | Tiny_json.Str s -> Trace.Str s
+  | Tiny_json.Bool b -> Trace.Bool b
+  | Tiny_json.Null -> Trace.Float Float.nan
+  | _ -> failwith "Trace_export: unsupported attribute value"
+
+let event_of_json json =
+  let get name =
+    match Tiny_json.member name json with
+    | Some v -> v
+    | None -> failwith ("Trace_export: event is missing field " ^ name)
+  in
+  let int_field name =
+    match Tiny_json.to_int (get name) with
+    | Some v -> v
+    | None -> failwith ("Trace_export: field " ^ name ^ " is not an integer")
+  in
+  let float_field name =
+    match Tiny_json.to_float (get name) with
+    | Some v -> v
+    | None -> failwith ("Trace_export: field " ^ name ^ " is not a number")
+  in
+  let str_field name =
+    match Tiny_json.to_string (get name) with
+    | Some v -> v
+    | None -> failwith ("Trace_export: field " ^ name ^ " is not a string")
+  in
+  let kind =
+    let k = str_field "kind" in
+    match Trace.kind_of_name k with
+    | Some kind -> kind
+    | None -> failwith ("Trace_export: unknown event kind " ^ k)
+  in
+  let dur =
+    match Tiny_json.member "dur" json with
+    | None | Some Tiny_json.Null -> None
+    | Some v -> (
+        match Tiny_json.to_float v with
+        | Some d -> Some d
+        | None -> failwith "Trace_export: field dur is not a number")
+  in
+  let attrs =
+    match Tiny_json.member "attrs" json with
+    | None -> []
+    | Some (Tiny_json.Obj fields) ->
+      List.map (fun (k, v) -> (k, value_of_json v)) fields
+    | Some _ -> failwith "Trace_export: field attrs is not an object"
+  in
+  { Trace.seq = int_field "seq";
+    at = float_field "t";
+    depth = int_field "depth";
+    kind;
+    name = str_field "name";
+    dur;
+    attrs }
+
+let events_of_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let _, rev =
+    List.fold_left
+      (fun (lineno, acc) line ->
+         let trimmed = String.trim line in
+         if trimmed = "" then (lineno + 1, acc)
+         else
+           let ev =
+             try event_of_json (Tiny_json.parse trimmed)
+             with Failure msg ->
+               failwith (Printf.sprintf "line %d: %s" lineno msg)
+           in
+           (lineno + 1, ev :: acc))
+      (1, []) lines
+  in
+  List.rev rev
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let write_file ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+       output_string oc
+         (if has_suffix ~suffix:".jsonl" path then jsonl events
+          else chrome events))
+
+let read_jsonl_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  events_of_jsonl text
+
+(* ------------------------------------------------------------------ *)
+(* Timeline report *)
+
+let attr_str (k, v) =
+  let s =
+    match v with
+    | Trace.Int n -> string_of_int n
+    | Trace.Float f -> Printf.sprintf "%g" f
+    | Trace.Str s -> s
+    | Trace.Bool b -> string_of_bool b
+  in
+  k ^ "=" ^ s
+
+(* Oracle attributes get the compact [n=.. l=.. |F|=..] form; the issuing
+   span path is dropped from the timeline line (it is visible from the
+   indentation) to keep rows short. *)
+let oracle_attr_str attrs =
+  let named key label =
+    match List.assoc_opt key attrs with
+    | Some (Trace.Int v) -> Some (Printf.sprintf "%s=%d" label v)
+    | _ -> None
+  in
+  let extras =
+    List.filter
+      (fun (k, _) -> not (List.mem k [ "n"; "l"; "size"; "span" ]))
+      attrs
+  in
+  String.concat " "
+    (List.filter_map Fun.id
+       [ named "n" "n"; named "l" "l"; named "size" "|F|" ]
+     @ List.map attr_str extras)
+
+let ms s = s *. 1e3
+
+let report events =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "%6s %12s  %s" "seq" "t(ms)" "event";
+  (* Span stack of (name, begin time) for end-of-span durations; streams
+     truncated by the event cap may leave unmatched begins, so every pop
+     is defensive. *)
+  let stack = ref [] in
+  let span_tot : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 16 in
+  let oracle_tot : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 8 in
+  (* Phase attribution: an event belongs to the most recent phase marker. *)
+  let phase_order = ref [] in
+  let phase_tot : (string, (int * int * float) ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let current_phase = ref "(before first phase)" in
+  let bump_tbl tbl key dt =
+    match Hashtbl.find_opt tbl key with
+    | Some r ->
+      let c, t = !r in
+      r := (c + 1, t +. dt)
+    | None -> Hashtbl.replace tbl key (ref (1, dt))
+  in
+  let phase_bump ~oracle ~dt =
+    let key = !current_phase in
+    let r =
+      match Hashtbl.find_opt phase_tot key with
+      | Some r -> r
+      | None ->
+        let r = ref (0, 0, 0.0) in
+        Hashtbl.replace phase_tot key r;
+        phase_order := key :: !phase_order;
+        r
+    in
+    let evs, calls, secs = !r in
+    r := (evs + 1, (calls + if oracle then 1 else 0), secs +. dt)
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+       let indent = String.make (2 * e.Trace.depth) ' ' in
+       let render =
+         match e.Trace.kind with
+         | Trace.Span_begin ->
+           stack := (e.Trace.name, e.Trace.at) :: !stack;
+           phase_bump ~oracle:false ~dt:0.0;
+           Printf.sprintf "> %s" e.Trace.name
+         | Trace.Span_end ->
+           let dur =
+             match !stack with
+             | (name, t0) :: rest when name = e.Trace.name ->
+               stack := rest;
+               Some (e.Trace.at -. t0)
+             | _ -> None
+           in
+           (match dur with
+            | Some d ->
+              bump_tbl span_tot e.Trace.name d;
+              phase_bump ~oracle:false ~dt:0.0;
+              Printf.sprintf "< %s  (%.3f ms)" e.Trace.name (ms d)
+            | None ->
+              phase_bump ~oracle:false ~dt:0.0;
+              Printf.sprintf "< %s  (unmatched)" e.Trace.name)
+         | Trace.Oracle ->
+           let d = Option.value ~default:0.0 e.Trace.dur in
+           bump_tbl oracle_tot e.Trace.name d;
+           phase_bump ~oracle:true ~dt:d;
+           Printf.sprintf "* oracle %s  %s  (%.3f ms)" e.Trace.name
+             (oracle_attr_str e.Trace.attrs) (ms d)
+         | Trace.Subst ->
+           phase_bump ~oracle:false ~dt:0.0;
+           Printf.sprintf "~ subst %s  %s" e.Trace.name
+             (String.concat " " (List.map attr_str e.Trace.attrs))
+         | Trace.Phase ->
+           current_phase := e.Trace.name;
+           phase_bump ~oracle:false ~dt:0.0;
+           Printf.sprintf "-- phase %s %s" e.Trace.name
+             (String.concat " " (List.map attr_str e.Trace.attrs))
+         | Trace.Counter ->
+           phase_bump ~oracle:false ~dt:0.0;
+           Printf.sprintf ". %s" (String.concat " "
+                                    (e.Trace.name
+                                     :: List.map attr_str e.Trace.attrs))
+       in
+       line "%6d %12.3f  %s%s" e.Trace.seq (ms e.Trace.at) indent render)
+    events;
+  line "";
+  line "per-phase aggregates:";
+  let phases = List.rev !phase_order in
+  if phases = [] then line "  (no events)"
+  else begin
+    line "  %-38s %8s %12s %14s" "phase" "events" "oracle-calls"
+      "oracle-ms";
+    List.iter
+      (fun p ->
+         match Hashtbl.find_opt phase_tot p with
+         | Some r ->
+           let evs, calls, secs = !r in
+           line "  %-38s %8d %12d %14.3f" p evs calls (ms secs)
+         | None -> ())
+      phases
+  end;
+  line "";
+  line "oracle totals:";
+  let sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl [])
+  in
+  (match sorted oracle_tot with
+   | [] -> line "  (none)"
+   | rows ->
+     line "  %-28s %8s %14s" "oracle" "calls" "time-ms";
+     List.iter
+       (fun (name, (c, t)) -> line "  %-28s %8d %14.3f" name c (ms t))
+       rows);
+  line "";
+  line "span totals:";
+  (match sorted span_tot with
+   | [] -> line "  (none)"
+   | rows ->
+     line "  %-48s %8s %14s" "span" "count" "time-ms";
+     List.iter
+       (fun (name, (c, t)) -> line "  %-48s %8d %14.3f" name c (ms t))
+       rows);
+  Buffer.contents b

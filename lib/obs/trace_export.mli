@@ -1,0 +1,44 @@
+(** Serialization of a {!Trace} event stream.
+
+    Two formats:
+
+    - {b Chrome [trace_event] JSON} ({!chrome}): a [{"traceEvents":
+      [...]}] document loadable in Perfetto ({{:https://ui.perfetto.dev}
+      ui.perfetto.dev}) or [chrome://tracing].  Spans become B/E pairs,
+      oracle calls become X (complete) slices with their duration,
+      phases and substitutions become instant events, counters become C
+      events (plotted as a counter track).  Timestamps are microseconds
+      since trace start.
+
+    - {b JSONL} ({!jsonl}): one compact JSON object per line with the
+      full event payload ([seq], [t], [depth], [kind], [name], optional
+      [dur], [attrs]).  This format round-trips: {!events_of_jsonl}
+      reads it back, so a saved trace can be re-rendered later
+      ([shapmc trace-report]).
+
+    Floats are written with round-trip precision; non-finite values are
+    mapped to valid JSON ([null] for NaN, [±1.0e308] for infinities). *)
+
+val chrome : Trace.event list -> string
+
+val jsonl : Trace.event list -> string
+
+val event_of_json : Tiny_json.t -> Trace.event
+(** @raise Failure on a malformed event object. *)
+
+val events_of_jsonl : string -> Trace.event list
+(** Parse a whole JSONL document (blank lines skipped).
+    @raise Failure with a line number on malformed input. *)
+
+val write_file : path:string -> Trace.event list -> unit
+(** Write to [path]; a [.jsonl] suffix selects the JSONL format,
+    anything else gets Chrome [trace_event] JSON. *)
+
+val read_jsonl_file : string -> Trace.event list
+
+val report : Trace.event list -> string
+(** Human-readable rendering of a stream: an indented chronological
+    timeline (two spaces per nesting depth) followed by per-phase
+    aggregates (events and oracle calls/time attributed to the most
+    recent phase marker), per-oracle totals (the same counts as the
+    [--stats] ledger), and per-span totals. *)

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CLI-level checks for --stats / --trace composition and trace-report.
+# Invoked by the dune rule in test/dune as:  bash cli_trace_test.sh SHAPMC_EXE
+set -euo pipefail
+
+exe="$1"
+fail() { echo "cli-trace FAILED: $1" >&2; exit 1; }
+
+# --stats and --trace together on one run: the result prints once, the
+# stats report prints once, the trace lands in the file — neither flag
+# double-reports or resets the other (n = 3, so 13 = (n+1) + n^2 calls).
+out=$("$exe" shap -m reduction --stats --trace t.jsonl "x1 & (x2 | !x3)" 2>err.log)
+grep -q "5/6" <<<"$out" || fail "Shapley values missing from stdout"
+[ "$(grep -c "^oracle calls:" <<<"$out")" -eq 1 ] \
+  || fail "stats report not printed exactly once"
+grep -q "events written to t.jsonl" err.log \
+  || fail "trace confirmation missing from stderr"
+[ -s t.jsonl ] || fail "t.jsonl empty or missing"
+
+stats_calls=$(awk '/^  dpll /{print $2}' <<<"$out")
+[ "$stats_calls" = "13" ] || fail "stats ledger reports $stats_calls dpll calls, want 13"
+trace_calls=$(grep -c '"kind":"oracle"' t.jsonl)
+[ "$trace_calls" = "13" ] || fail "trace stream has $trace_calls oracle events, want 13"
+grep -q '"lemma":"3.3"' t.jsonl || fail "oracle events lack the lemma tag"
+
+# trace-report replays the stream with the same totals as --stats.
+report=$("$exe" trace-report t.jsonl)
+grep -q "per-phase aggregates" <<<"$report" || fail "report lacks phase aggregates"
+grep -q "oracle totals" <<<"$report" || fail "report lacks oracle totals"
+grep -qE "dpll +13\b" <<<"$report" || fail "report totals disagree with the ledger"
+grep -q "lemma3.2.full" <<<"$report" || fail "report lacks the lemma3.2.full phase"
+
+# A .json suffix selects the Chrome trace_event format.
+"$exe" count --trace t.json "x1 & x2" >/dev/null 2>err2.log
+grep -q '"traceEvents"' t.json || fail "no traceEvents in chrome export"
+grep -q '"displayTimeUnit"' t.json || fail "no displayTimeUnit in chrome export"
+
+# --trace alone must not print the stats report.
+solo=$("$exe" count --trace t2.jsonl "x1 | x2" 2>/dev/null)
+if grep -q "^oracle calls:" <<<"$solo"; then
+  fail "--trace alone printed the stats report"
+fi
+
+echo "cli-trace: all checks passed"

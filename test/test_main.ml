@@ -18,4 +18,5 @@ let () =
       ("negation", Test_negation.suite);
       ("cnf-compiler", Test_compile_cnf.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("differential", Test_differential.suite) ]

@@ -55,7 +55,7 @@ let switch_tests =
         Obs.disable ();
         Obs.incr "x";
         Obs.record ~oracle:"o" ~n:1 ~seconds:0.0 ();
-        Obs.record_subst ~kind:"k" ~pre:1 ~post:2 ~fresh:3;
+        Obs.record_subst ~kind:"k" ~pre:1 ~post:2 ~fresh:3 ();
         ignore (Obs.with_span "s" (fun () -> 42));
         Alcotest.(check int) "counter" 0 (Obs.counter "x");
         Alcotest.(check int) "calls" 0 (Obs.call_count ());
