@@ -786,6 +786,46 @@ let e19 () =
     (not (Nf.is_positive f))
 
 (* ------------------------------------------------------------------ *)
+(* E20: the --jobs domain pool *)
+
+let e20 () =
+  section "E20" "Parallel oracle fan-out: jobs in {1, 2, 4} agree exactly";
+  let st = Random.State.make [| 41 |] in
+  let n = if quick then 6 else 8 in
+  let f = random_full_formula st ~nvars:n ~depth:n in
+  let vars = List.init n succ in
+  row "  host domains recommended: %d  (speedups need > 1 core; equality\n"
+    (Domain.recommended_domain_count ());
+  row "  holds regardless)\n";
+  row "  %-6s %-12s %-12s %-8s\n" "jobs" "shap(s)" "kcounts(s)" "calls";
+  let reference = ref None in
+  let all_equal = ref true in
+  List.iter
+    (fun jobs ->
+       Par.set_jobs jobs;
+       let before = Obs.call_count () in
+       let shap, t_shap =
+         time (fun () ->
+             Pipeline.shap_via_count_oracle ~oracle:Pipeline.dpll_count_oracle
+               ~vars f)
+       in
+       let kv, t_k =
+         time (fun () ->
+             Pipeline.kcounts_via_count_oracle
+               ~oracle:Pipeline.dpll_count_oracle ~vars f)
+       in
+       let calls = Obs.call_count () - before in
+       row "  %-6d %-12.4f %-12.4f %-8d\n" jobs t_shap t_k calls;
+       match !reference with
+       | None -> reference := Some (shap, kv, calls)
+       | Some (shap0, kv0, calls0) ->
+         if not (shap_equal shap shap0 && Kvec.equal kv kv0 && calls = calls0)
+         then all_equal := false)
+    [ 1; 2; 4 ];
+  Par.set_jobs 1;
+  check "results and oracle-call totals independent of jobs" !all_equal
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel) *)
 
 let micro () =
@@ -861,7 +901,7 @@ let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E19", e19); ("M", micro) ]
+    ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("M", micro) ]
 
 (* The compact per-section record the regression gate (compare.ml)
    diffs against bench/baseline.json: wall-clock plus the oracle-call

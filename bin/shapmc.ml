@@ -73,17 +73,31 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate independent oracle consultations (the n+1 arities of Lemma \
+     3.3, the n drop-vectors of Lemma 3.2, the n positions of Lemma 3.4, \
+     the PQE route's n+1 probability evaluations) on up to $(docv) \
+     domains.  The default 1 runs everything sequentially, bit-identical \
+     to previous releases; results are independent of $(docv).  Also \
+     settable via $(env)."
+  in
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "SHAPMC_JOBS") ~doc)
+
 let wrap f =
   try f () with
   | Invalid_argument m | Failure m ->
     Printf.eprintf "error: %s\n" m;
     exit 1
 
-(* Bracket a subcommand body with the Obs ledger (--stats) and the trace
-   recorder (--trace FILE).  The two compose: a single reset up front,
-   the trace file written first (a note on stderr keeps stdout clean),
-   then the stats report — neither clears the other's data. *)
-let with_obs ~stats ~trace f =
+(* Bracket a subcommand body with the parallelism knob (--jobs), the Obs
+   ledger (--stats) and the trace recorder (--trace FILE).  Stats and
+   trace compose: a single reset up front, the trace file written first
+   (a note on stderr keeps stdout clean), then the stats report —
+   neither clears the other's data. *)
+let with_obs ~stats ~trace ~jobs f =
+  Par.set_jobs jobs;
   let live = stats || trace <> None in
   if live then begin
     Obs.reset ();
@@ -116,7 +130,7 @@ let with_obs ~stats ~trace f =
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run stats trace method_ n s =
+  let run stats trace jobs method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -124,7 +138,7 @@ let count_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let result =
                 match method_ with
                 | "dpll" -> Dpll.count_universe ~vars f
@@ -139,13 +153,13 @@ let count_cmd =
   in
   let info = Cmd.info "count" ~doc:"Model count #F of a Boolean formula." in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
           $ method_arg ~choices:[ "dpll"; "brute"; "circuit"; "obdd" ]
               ~default:"dpll"
           $ universe_arg $ formula_arg)
 
 let kcount_cmd =
-  let run stats trace method_ n s =
+  let run stats trace jobs method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -153,7 +167,7 @@ let kcount_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let kv =
                 match method_ with
                 | "dpll" -> Dpll.count_by_size_universe ~vars f
@@ -175,7 +189,7 @@ let kcount_cmd =
       ~doc:"Fixed-size model counts #_k F (problem #_*C of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
           $ method_arg
               ~choices:[ "dpll"; "brute"; "circuit"; "reduction" ]
               ~default:"dpll"
@@ -196,7 +210,7 @@ let print_shap names shap =
     (Rat.to_string (Naive.shap_sum shap))
 
 let shap_cmd =
-  let run stats trace method_ n s =
+  let run stats trace jobs method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -204,7 +218,7 @@ let shap_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let shap =
                 match method_ with
                 | "circuit" ->
@@ -226,14 +240,14 @@ let shap_cmd =
       ~doc:"Shapley value of every variable (problem Shap(C) of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
           $ method_arg
               ~choices:[ "circuit"; "reduction"; "pqe"; "subsets"; "permutations" ]
               ~default:"circuit"
           $ universe_arg $ formula_arg)
 
 let banzhaf_cmd =
-  let run stats trace method_ n s =
+  let run stats trace jobs method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -241,7 +255,7 @@ let banzhaf_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let scores =
                 match method_ with
                 | "circuit" ->
@@ -259,7 +273,7 @@ let banzhaf_cmd =
     Cmd.info "banzhaf" ~doc:"Banzhaf value of every variable (comparison index)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
           $ method_arg ~choices:[ "circuit"; "brute"; "dpll" ] ~default:"circuit"
           $ universe_arg $ formula_arg)
 
@@ -271,7 +285,7 @@ let approx_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run stats trace samples seed n s =
+  let run stats trace jobs samples seed n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -284,7 +298,7 @@ let approx_cmd =
             | Some nm -> nm
             | None -> Printf.sprintf "x%d" i
           in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               List.iter
                 (fun e ->
                    Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
@@ -297,7 +311,7 @@ let approx_cmd =
       ~doc:"Approximate Shapley values by permutation sampling (Hoeffding CI)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ samples_arg $ seed_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ samples_arg $ seed_arg
           $ universe_arg $ formula_arg)
 
 let prob_cmd =
@@ -306,7 +320,7 @@ let prob_cmd =
          & info [ "t"; "theta" ] ~docv:"THETA"
              ~doc:"Probability of each variable (a rational, e.g. 1/3).")
   in
-  let run stats trace theta s =
+  let run stats trace jobs theta s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -314,7 +328,7 @@ let prob_cmd =
           exit 1
         | Ok (f, _) ->
           let theta = Rat.of_string theta in
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let p =
                 Prob.probability ~weights:(fun _ -> theta) (Compile.compile f)
               in
@@ -324,10 +338,10 @@ let prob_cmd =
     Cmd.info "prob"
       ~doc:"Probability of the function under a uniform product distribution."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ theta_arg $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ theta_arg $ formula_arg)
 
 let factor_cmd =
-  let run stats trace s =
+  let run stats trace jobs s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -336,7 +350,7 @@ let factor_cmd =
         | Ok (f, _) ->
           if not (Nf.is_positive f) then
             failwith "read-once factoring requires a positive formula";
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               match Read_once.factor (Nf.formula_to_pdnf f) with
               | Some tree ->
                 Printf.printf "read-once: %s\n"
@@ -346,17 +360,17 @@ let factor_cmd =
   let info =
     Cmd.info "factor" ~doc:"Read-once factoring of a positive formula."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ formula_arg)
 
 let compile_cmd =
-  let run stats trace target s =
+  let run stats trace jobs target s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               match target with
            | "circuit" ->
              let c, stats = Compile.compile_with_stats f in
@@ -378,16 +392,16 @@ let compile_cmd =
       ~doc:"Compile a formula to a d-D circuit or OBDD (Section 4)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg
+    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
           $ method_arg ~choices:[ "circuit"; "obdd" ] ~default:"circuit"
           $ formula_arg)
 
 let classify_cmd =
-  let run stats trace s =
+  let run stats trace jobs s =
     wrap (fun () ->
         let q = Db_parser.parse_query s in
         Printf.printf "query: %s\n" (Cq.to_string q);
-        with_obs ~stats ~trace (fun () ->
+        with_obs ~stats ~trace ~jobs (fun () ->
             match Dichotomy.classify q with
         | Dichotomy.Hierarchical ->
           Printf.printf
@@ -412,13 +426,13 @@ let classify_cmd =
   let info =
     Cmd.info "classify" ~doc:"Classify a CQ per the Theorem 5.1 dichotomy."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ query_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ query_arg)
 
 let lineage_cmd =
-  let run stats trace file =
+  let run stats trace jobs file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
-        with_obs ~stats ~trace (fun () ->
+        with_obs ~stats ~trace ~jobs (fun () ->
             let f = Lineage.lineage_formula db q in
             let report = Explain.explain db q in
             Format.printf "lineage: %s@\n%a@?" (Formula.to_string f) Explain.pp
@@ -428,13 +442,13 @@ let lineage_cmd =
     Cmd.info "lineage"
       ~doc:"Lineage and per-tuple Shapley values for a query over a database."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ file_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ file_arg)
 
 let stretch_cmd =
-  let run stats trace file =
+  let run stats trace jobs file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
-        with_obs ~stats ~trace @@ fun () ->
+        with_obs ~stats ~trace ~jobs @@ fun () ->
         let is_endo r = Database.kind_of db r = Database.Endogenous in
         let qt, zs = Stretch.stretch_query ~is_endogenous:is_endo q in
         Printf.printf "query:     %s\n" (Cq.to_string q);
@@ -461,7 +475,7 @@ let stretch_cmd =
     Cmd.info "stretch"
       ~doc:"Stretch a query (Def. 10) and verify the Section 5.2 diagram."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ file_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ file_arg)
 
 let dimacs_cmd =
   let what_arg =
@@ -470,12 +484,12 @@ let dimacs_cmd =
              ~doc:"What to compute: count, kcount, shap, or wmc (uses the \
                    instance's weight lines, default 1/2).")
   in
-  let run stats trace what file =
+  let run stats trace jobs what file =
     wrap (fun () ->
         let inst = Dimacs.parse_file file in
         let f = Dimacs.to_formula inst in
         let vars = Dimacs.variables inst in
-        with_obs ~stats ~trace @@ fun () ->
+        with_obs ~stats ~trace ~jobs @@ fun () ->
         match what with
         | "count" ->
           Printf.printf "%s\n" (Bigint.to_string (Dpll.count_universe ~vars f))
@@ -506,17 +520,17 @@ let dimacs_cmd =
     Cmd.info "dimacs"
       ~doc:"Count models / Shapley values of a DIMACS CNF instance."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ what_arg $ cnf_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ what_arg $ cnf_arg)
 
 let export_nnf_cmd =
-  let run stats trace s =
+  let run stats trace jobs s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          with_obs ~stats ~trace (fun () ->
+          with_obs ~stats ~trace ~jobs (fun () ->
               let vars = Vset.elements (Formula.vars f) in
               let m = Obdd.create_manager ~order:vars in
               let c = Obdd.to_circuit m (Obdd.of_formula m f) in
@@ -530,10 +544,10 @@ let export_nnf_cmd =
     Cmd.info "export-nnf"
       ~doc:"Compile a formula (via OBDD) and print it in c2d NNF format."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ formula_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ formula_arg)
 
 let count_nnf_cmd =
-  let run stats trace n file =
+  let run stats trace jobs n file =
     wrap (fun () ->
         let c = Nnf_io.import_file file in
         let vars =
@@ -541,7 +555,7 @@ let count_nnf_cmd =
           | Some n -> List.init n succ
           | None -> Vset.elements (Circuit.vars c)
         in
-        with_obs ~stats ~trace (fun () ->
+        with_obs ~stats ~trace ~jobs (fun () ->
             Printf.printf "gates: %d\n" (Circuit.size c);
             Printf.printf "count: %s\n" (Bigint.to_string (Count.count ~vars c));
             print_shap [] (Circuit_shapley.shap_direct ~vars c)))
@@ -554,7 +568,7 @@ let count_nnf_cmd =
     Cmd.info "count-nnf"
       ~doc:"Model count and Shapley values of an externally compiled d-DNNF."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ universe_arg $ nnf_arg)
+  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ universe_arg $ nnf_arg)
 
 let trace_report_cmd =
   let run file =

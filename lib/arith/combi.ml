@@ -3,19 +3,33 @@
 
 let fact_cache = ref [| Bigint.one |]
 
+(* The cache is grown copy-on-write under [lock] (domain-safe for the
+   [--jobs] fan-out); the fast path reads the current array without the
+   lock, which is safe because a published cache array is never mutated
+   again — growth installs a fresh, fully initialised array. *)
+let lock = Mutex.create ()
+
 let factorial n =
   if n < 0 then invalid_arg "Combi.factorial: negative";
   let cache = !fact_cache in
   if n < Array.length cache then cache.(n)
   else begin
-    let old = Array.length cache in
-    let cache' = Array.make (n + 1) Bigint.one in
-    Array.blit cache 0 cache' 0 old;
-    for i = old to n do
-      cache'.(i) <- Bigint.mul cache'.(i - 1) (Bigint.of_int i)
-    done;
-    fact_cache := cache';
-    cache'.(n)
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () ->
+         let cache = !fact_cache in
+         if n < Array.length cache then cache.(n)
+         else begin
+           let old = Array.length cache in
+           let cache' = Array.make (n + 1) Bigint.one in
+           Array.blit cache 0 cache' 0 old;
+           for i = old to n do
+             cache'.(i) <- Bigint.mul cache'.(i - 1) (Bigint.of_int i)
+           done;
+           fact_cache := cache';
+           cache'.(n)
+         end)
   end
 
 let binomial n k =

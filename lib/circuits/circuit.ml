@@ -24,14 +24,28 @@ type key =
 let table : (key, node) Hashtbl.t = Hashtbl.create 1024
 let next_id = ref 0
 
+(* The hash-cons table is process-global, so [intern] must be safe under
+   the [--jobs] parallel fan-out: the lookup-or-insert is atomic under
+   [lock].  Node IDS may then depend on domain scheduling (two domains
+   interning fresh gates race for [next_id]), but node IDENTITY does not:
+   structurally equal gates still share one node, children keys are
+   id-sorted per call, and everything downstream (counting, Shapley
+   arithmetic) is exact bigint/rational math over gate STRUCTURE — so
+   all results are scheduling-independent even though ids are not. *)
+let lock = Mutex.create ()
+
 let intern key gate vars =
-  match Hashtbl.find_opt table key with
-  | Some n -> n
-  | None ->
-    let n = { id = !next_id; gate; vars } in
-    incr next_id;
-    Hashtbl.replace table key n;
-    n
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () ->
+       match Hashtbl.find_opt table key with
+       | Some n -> n
+       | None ->
+         let n = { id = !next_id; gate; vars } in
+         incr next_id;
+         Hashtbl.replace table key n;
+         n)
 
 let ctrue = intern Ktrue Ctrue Vset.empty
 let cfalse = intern Kfalse Cfalse Vset.empty

@@ -33,13 +33,22 @@ let count_by_size_circuit root =
             (Kvec.const_false ~n:(Vset.cardinal g.vars))
             gs
         | Circuit.Cor (Circuit.Disjoint, gs) ->
-          (* all − Π (non-models of children) *)
+          (* all − Π (non-models of children).  Each factor lives on its
+             child's scope, and [conv] adds universes, so [non] lives on
+             Σ|vars h| — which equals |g.vars| exactly because cor_disj
+             enforces pairwise-disjoint child scopes and sets the gate
+             scope to their union.  The [smooth_to] below is therefore a
+             no-op ([extra = 0]) for every constructible circuit; it
+             pins the invariant so a future scope change cannot silently
+             complement over the wrong universe. *)
           let non =
             List.fold_left
               (fun acc h -> Kvec.conv acc (Kvec.complement (go h)))
               (Kvec.const_true ~n:0) gs
           in
-          Kvec.complement non
+          Kvec.complement
+            (Kvec.extend non
+               ~extra:(Vset.cardinal g.vars - Kvec.universe_size non))
       in
       Hashtbl.replace memo g.id v;
       v

@@ -73,8 +73,9 @@ let shap_via_count_oracle ~oracle ~vars f =
       ~vars:(List.concat_map snd blocks)
       tilde_f
   in
+  let sorted_arr = Array.of_list sorted in
   let kcount_drop pos =
-    let i = List.nth sorted pos in
+    let i = sorted_arr.(pos) in
     Obs.phase "lemma3.2.drop" ~attrs:[ ("i", Trace.Int i) ];
     let tilde_f', blocks =
       Subst.zap ~universe ~zero:(Vset.singleton i) f
@@ -86,9 +87,11 @@ let shap_via_count_oracle ~oracle ~vars f =
   let values = Reductions.shap_via_kcounts ~n ~kcount_full ~kcount_drop in
   List.mapi (fun pos i -> (i, values.(pos))) sorted
 
-(* Lemma 3.4: #C ≤P Shap(~C). *)
-let shap_subst_of_oracle ~oracle ~universe ~sorted f ~l ~pos =
-  let i = List.nth sorted pos in
+(* Lemma 3.4: #C ≤P Shap(~C).  [sorted_arr] is the sorted universe as an
+   array, so the n² (l, pos) consultations index it in O(1) instead of
+   walking the list on every call. *)
+let shap_subst_of_oracle ~oracle ~universe ~sorted_arr f ~l ~pos =
+  let i = sorted_arr.(pos) in
   let g, z, blocks = Subst.uniform_or_except ~universe ~l ~keep:i f in
   let gvars = List.concat_map snd blocks in
   match
@@ -106,7 +109,9 @@ let kcounts_via_shap_oracle ~oracle ~vars f =
   let f_zero = Formula.eval_set Vset.empty f in
   Obs.with_span "pipeline.kcounts_via_shap_oracle" @@ fun () ->
   Reductions.kcounts_via_shap ~n ~f_zero
-    ~shap_subst:(shap_subst_of_oracle ~oracle ~universe ~sorted f)
+    ~shap_subst:
+      (shap_subst_of_oracle ~oracle ~universe
+         ~sorted_arr:(Array.of_list sorted) f)
 
 let count_via_shap_oracle ~oracle ~vars f =
   Kvec.total (kcounts_via_shap_oracle ~oracle ~vars f)
@@ -152,9 +157,19 @@ let kcounts_via_pqe_oracle ~oracle ~vars f =
 let shap_via_pqe_oracle ~oracle ~vars f =
   let _, sorted = sorted_universe ~vars f in
   let n = List.length sorted in
-  let kcount_full = kcounts_via_pqe_oracle ~oracle ~vars f in
+  Obs.with_span "pipeline.shap_via_pqe_oracle"
+    ~attrs:[ ("n", Trace.Int n) ]
+  @@ fun () ->
+  (* Same Lemma 3.2 phase structure as the counting route, so traces of
+     either route attribute oracle calls to the full/drop stages alike. *)
+  let kcount_full =
+    Obs.phase "lemma3.2.full" ~attrs:[ ("n", Trace.Int n) ];
+    kcounts_via_pqe_oracle ~oracle ~vars f
+  in
+  let sorted_arr = Array.of_list sorted in
   let kcount_drop pos =
-    let i = List.nth sorted pos in
+    let i = sorted_arr.(pos) in
+    Obs.phase "lemma3.2.drop" ~attrs:[ ("i", Trace.Int i) ];
     let others = List.filter (fun v -> v <> i) sorted in
     kcounts_via_pqe_oracle ~oracle ~vars:others (Formula.restrict i false f)
   in

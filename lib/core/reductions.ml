@@ -22,8 +22,12 @@ let solve_integer_vandermonde ~points ~values ~what =
 let shap_via_kcounts ~n ~kcount_full ~kcount_drop =
   if Kvec.universe_size kcount_full <> n then
     invalid_arg "shap_via_kcounts: full vector has wrong universe";
+  (* The n drop-vectors are independent oracle consultations — the
+     expensive part — so they fan out over the [--jobs] pool; the cheap
+     Shapley arithmetic below stays sequential. *)
+  let drops = Par.map_n kcount_drop n in
   Array.init n (fun pos ->
-      let drop = kcount_drop pos in
+      let drop = drops.(pos) in
       if Kvec.universe_size drop <> n - 1 then
         invalid_arg "shap_via_kcounts: drop vector has wrong universe";
       let value = ref Rat.zero in
@@ -48,8 +52,9 @@ let kcounts_via_counting ~n ~count_subst =
   @@ fun () ->
   let points = or_points ~count:(n + 1) in
   Obs.phase "lemma3.3.consult" ~attrs:[ ("n", Trace.Int n) ];
+  (* The n+1 arity consultations are independent: fan out ([--jobs]). *)
   let values =
-    Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))
+    Par.map_n (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1))) (n + 1)
   in
   Obs.phase "lemma3.3.solve" ~attrs:[ ("n", Trace.Int n) ];
   let counts =
@@ -62,7 +67,7 @@ let kcounts_via_counting_and ~n ~count_subst =
      turns it into a standard Vandermonde system in y_j = #_{n−j} F. *)
   let points = or_points ~count:(n + 1) in
   let values =
-    Array.init (n + 1) (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1)))
+    Par.map_n (fun idx -> Rat.of_bigint (count_subst ~l:(idx + 1))) (n + 1)
   in
   let y =
     solve_integer_vandermonde ~points ~values ~what:"kcounts_via_counting_and"
@@ -87,13 +92,16 @@ let kcounts_via_probability ~n ~prob =
         let theta = Rat.of_ints (j + 1) (n + 2) in
         Rat.div theta (Rat.sub Rat.one theta))
   in
+  (* n+1 independent θ-evaluations of the PQE oracle: fan out ([--jobs]). *)
   let values =
-    Array.init (n + 1) (fun j ->
-        let theta = Rat.of_ints (j + 1) (n + 2) in
-        let p = prob ~theta in
-        (* P_θ / (1−θ)^n *)
-        let rec pow r k = if k = 0 then Rat.one else Rat.mul r (pow r (k - 1)) in
-        Rat.div p (pow (Rat.sub Rat.one theta) n))
+    Par.map_n
+      (fun j ->
+         let theta = Rat.of_ints (j + 1) (n + 2) in
+         let p = prob ~theta in
+         (* P_θ / (1−θ)^n *)
+         let rec pow r k = if k = 0 then Rat.one else Rat.mul r (pow r (k - 1)) in
+         Rat.div p (pow (Rat.sub Rat.one theta) n))
+      (n + 1)
   in
   let sol = Linalg.vandermonde_solve ~points ~values in
   Kvec.make ~n
@@ -159,11 +167,19 @@ let kcounts_via_shap ~n ~f_zero ~shap_subst =
   (* Claim 3.6: Σ_i d_k(i) = (k+1) #_{k+1} F − (n−k) #_k F; telescope from
      #_0 F = F(0). *)
   let sums = Array.make n Bigint.zero in
-  for pos = 0 to n - 1 do
-    Obs.phase "lemma3.4.position" ~attrs:[ ("pos", Trace.Int pos) ];
-    let d = differences_for_position ~n ~shap_subst ~pos in
-    Array.iteri (fun k dk -> sums.(k) <- Bigint.add sums.(k) dk) d
-  done;
+  (* The n per-position difference recoveries (n oracle calls each) are
+     independent: fan out ([--jobs]), then accumulate in index order so
+     the sums are reproducible. *)
+  let ds =
+    Par.map_n
+      (fun pos ->
+         Obs.phase "lemma3.4.position" ~attrs:[ ("pos", Trace.Int pos) ];
+         differences_for_position ~n ~shap_subst ~pos)
+      n
+  in
+  Array.iter
+    (fun d -> Array.iteri (fun k dk -> sums.(k) <- Bigint.add sums.(k) dk) d)
+    ds;
   let counts = Array.make (n + 1) Bigint.zero in
   counts.(0) <- (if f_zero then Bigint.one else Bigint.zero);
   for k = 0 to n - 1 do

@@ -47,9 +47,14 @@ let parse_string text =
        match words with
        | [] -> ()
        | "c" :: "p" :: "weight" :: lit :: w :: _ ->
+         (* Validation against the header (range, duplicates) happens at
+            the end, once [num_vars] is known; the line number rides
+            along so errors still point at the declaration. *)
          (match int_of_string_opt lit with
-          | Some l when l > 0 -> weights := (l, parse_weight w) :: !weights
-          | Some _ -> () (* negative-literal weights are implied *)
+          | Some l when l > 0 ->
+            weights := (lineno, l, parse_weight w) :: !weights
+          | Some l when l < 0 -> () (* negative-literal weights are implied *)
+          | Some _ -> fail lineno "bad weight literal 0"
           | None -> fail lineno "bad weight literal")
        | "c" :: _ -> ()
        | "p" :: "cnf" :: nv :: nc :: _ ->
@@ -82,11 +87,21 @@ let parse_string text =
   match !header with
   | None -> invalid_arg "Dimacs: missing p cnf header"
   | Some num_vars ->
-    {
-      num_vars;
-      clauses = List.rev !clauses;
-      weights = List.rev !weights;
-    }
+    let seen = Hashtbl.create 16 in
+    let weights =
+      List.rev !weights
+      |> List.map (fun (lineno, v, w) ->
+          if v > num_vars then
+            fail lineno
+              (Printf.sprintf "weight variable %d out of range 1..%d" v
+                 num_vars);
+          if Hashtbl.mem seen v then
+            fail lineno
+              (Printf.sprintf "duplicate weight declaration for variable %d" v);
+          Hashtbl.replace seen v ();
+          (v, w))
+    in
+    { num_vars; clauses = List.rev !clauses; weights }
 
 let parse_file path =
   let ic = open_in path in

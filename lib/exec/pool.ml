@@ -1,0 +1,81 @@
+(* A dependency-free fixed-size domain pool (OCaml 5 [Domain]s only).
+
+   [map pool f xs] evaluates [f] on every element of [xs] and returns the
+   results in input order.  Work is distributed dynamically: a shared
+   atomic cursor hands out indices, so uneven task costs (oracle calls on
+   instances of very different sizes) still balance across workers.
+
+   Guarantees:
+
+   - deterministic result ordering: slot [i] of the output is always
+     [f xs.(i)], however the indices were scheduled;
+   - exception capture/re-raise: if tasks raise, the exception of the
+     LOWEST failing index is re-raised in the caller (with its original
+     backtrace), so failures are independent of scheduling; the remaining
+     tasks still run to completion (workers drain the cursor either way —
+     oracle tasks are pure, so there is nothing to cancel);
+   - graceful fallback: with [jobs = 1], a single-element input, or when
+     called from inside another [map] (nested fan-outs), the tasks run in
+     the caller's domain, in ascending index order — byte-identical to a
+     plain sequential loop;
+   - bounded domains: at most [jobs - 1] domains are spawned per [map]
+     (the caller works too) and all are joined before [map] returns.  The
+     nested-call fallback keeps the process-wide domain count at one
+     pool's worth even when parallel reductions compose. *)
+
+type t = { jobs : int }
+
+(* [Domain.spawn] refuses past ~128 live domains; stay well below. *)
+let max_jobs = 64
+
+let create ~jobs = { jobs = max 1 (min jobs max_jobs) }
+
+let jobs t = t.jobs
+
+(* True while the current domain is executing pool tasks; nested [map]s
+   fall back to in-caller execution instead of spawning more domains. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential f xs = Array.map f xs
+
+let as_worker body =
+  let was = Domain.DLS.get in_worker in
+  Domain.DLS.set in_worker true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker was) body
+
+let map t f xs =
+  let n = Array.length xs in
+  let w = min t.jobs n in
+  if w <= 1 || Domain.DLS.get in_worker then sequential f xs
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let run_tasks () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let r =
+            try Ok (f xs.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          (* distinct slots: no two workers ever share an index *)
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      List.init (w - 1) (fun _ -> Domain.spawn (fun () -> as_worker run_tasks))
+    in
+    (* The caller is the w-th worker; its exceptions are captured like any
+       other task's, so join always runs. *)
+    as_worker run_tasks;
+    List.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* cursor handed out every index *))
+      results
+  end

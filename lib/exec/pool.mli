@@ -1,0 +1,23 @@
+(** A dependency-free fixed-size domain pool (OCaml 5).
+
+    [map] fans a pure task out over a bounded set of worker domains with
+    dynamic load balancing, deterministic result ordering and exception
+    capture/re-raise.  With [jobs = 1] (or from inside another [map]) it
+    degrades to an in-caller sequential loop, byte-identical to
+    [Array.map]. *)
+
+type t
+
+(** [create ~jobs] is a pool of [jobs] workers, clamped to [1..64]. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** [map t f xs] is [Array.map f xs], evaluated by up to [jobs t] domains
+    (the caller included).  Results keep their input slots.  If one or
+    more tasks raise, every task still runs, and the exception of the
+    lowest failing index is re-raised with its original backtrace —
+    failure behavior is independent of scheduling.  Nested calls from
+    inside a task run sequentially in the calling worker, so composed
+    parallel reductions never oversubscribe the machine. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array

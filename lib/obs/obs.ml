@@ -11,7 +11,21 @@
    When a {!Trace} stream is being recorded, every entry point also emits
    a chronological event, which is how the [--trace] timeline gets its
    span begin/end, oracle-call, substitution and counter events without
-   any extra instrumentation at the call sites. *)
+   any extra instrumentation at the call sites.
+
+   Domain safety (the [--jobs] parallel fan-out): every mutation of the
+   shared ledgers, aggregates, counters and span table happens under one
+   [lock], so concurrent recordings from pool workers neither tear the
+   tables nor drop updates, and all aggregate totals stay exact
+   regardless of scheduling.  The span NESTING state is per-domain
+   ([Domain.DLS]): each worker tracks its own stack of open spans, and
+   {!span_context}/{!with_span_context} let a fan-out primitive re-install
+   the caller's stack inside workers so hierarchical span paths come out
+   identical to a sequential run.  Under [jobs = 1] everything happens on
+   one domain in the exact pre-pool order, so recorded streams are
+   bit-identical to the sequential pipeline.  The [enabled] flag itself is
+   a plain ref: it is only toggled outside parallel regions (CLI startup,
+   test brackets), never concurrently with recording. *)
 
 type span_stat = { span_path : string; span_calls : int; span_seconds : float }
 
@@ -35,6 +49,18 @@ let enabled_flag = ref false
 let enabled () = !enabled_flag
 let enable () = enabled_flag := true
 let disable () = enabled_flag := false
+
+(* One lock for all shared recording state.  Held only for the few table
+   updates of a record — never across a user callback or an oracle call —
+   so contention is bounded by ledger bookkeeping, not by the work being
+   measured.  [Trace] has its own lock; this module calls into [Trace]
+   without holding [lock] held-to-held in the other direction, so there
+   is no ordering cycle. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
 
@@ -81,23 +107,35 @@ type subst_agg = {
 let subst_agg_tbl : (string, subst_agg) Hashtbl.t = Hashtbl.create 4
 
 (* Span aggregation: path -> (calls, total seconds); [span_stack] holds
-   the current path so nested spans compose hierarchically. *)
+   the current path so nested spans compose hierarchically.  The stack is
+   per-domain state (which spans are open HERE), so it lives in
+   domain-local storage rather than under [lock]. *)
 let spans_tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 32
-let span_stack : string list ref = ref []
+
+let span_stack : string list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let span_context () = Domain.DLS.get span_stack
+
+let with_span_context ctx f =
+  let saved = Domain.DLS.get span_stack in
+  Domain.DLS.set span_stack ctx;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set span_stack saved) f
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  calls_log := [];
-  calls_stored := 0;
-  calls_dropped_n := 0;
-  calls_total := 0;
-  Hashtbl.reset agg_tbl;
-  substs_log := [];
-  substs_stored := 0;
-  substs_dropped_n := 0;
-  Hashtbl.reset subst_agg_tbl;
-  Hashtbl.reset spans_tbl;
-  span_stack := []
+  locked (fun () ->
+      Hashtbl.reset counters_tbl;
+      calls_log := [];
+      calls_stored := 0;
+      calls_dropped_n := 0;
+      calls_total := 0;
+      Hashtbl.reset agg_tbl;
+      substs_log := [];
+      substs_stored := 0;
+      substs_dropped_n := 0;
+      Hashtbl.reset subst_agg_tbl;
+      Hashtbl.reset spans_tbl);
+  Domain.DLS.set span_stack []
 
 let now = Unix.gettimeofday
 
@@ -107,13 +145,14 @@ let now = Unix.gettimeofday
 let add name k =
   if !enabled_flag then begin
     let total =
-      match Hashtbl.find_opt counters_tbl name with
-      | Some r ->
-        r := !r + k;
-        !r
-      | None ->
-        Hashtbl.replace counters_tbl name (ref k);
-        k
+      locked (fun () ->
+          match Hashtbl.find_opt counters_tbl name with
+          | Some r ->
+            r := !r + k;
+            !r
+          | None ->
+            Hashtbl.replace counters_tbl name (ref k);
+            k)
     in
     if Trace.recording () then Trace.counter ~value:total name
   end
@@ -121,11 +160,13 @@ let add name k =
 let incr name = add name 1
 
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0)
 
 let counters () =
   List.sort compare
-    (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl [])
+    (locked (fun () ->
+         Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []))
 
 (* ------------------------------------------------------------------ *)
 (* Spans *)
@@ -133,23 +174,27 @@ let counters () =
 let with_span ?attrs name f =
   if not !enabled_flag then f ()
   else begin
+    let stack = Domain.DLS.get span_stack in
     let path =
-      match !span_stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+      match stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
     in
-    span_stack := path :: !span_stack;
+    Domain.DLS.set span_stack (path :: stack);
     if Trace.recording () then Trace.span_begin ?attrs name;
     let t0 = now () in
     let finish () =
       (* Unix.gettimeofday is not monotonic: clamp so a clock step back
          cannot produce a negative duration. *)
       let dt = Float.max 0.0 (now () -. t0) in
-      (match !span_stack with _ :: rest -> span_stack := rest | [] -> ());
+      (match Domain.DLS.get span_stack with
+       | _ :: rest -> Domain.DLS.set span_stack rest
+       | [] -> ());
       if Trace.recording () then Trace.span_end name;
-      match Hashtbl.find_opt spans_tbl path with
-      | Some r ->
-        let c, t = !r in
-        r := (c + 1, t +. dt)
-      | None -> Hashtbl.replace spans_tbl path (ref (1, dt))
+      locked (fun () ->
+          match Hashtbl.find_opt spans_tbl path with
+          | Some r ->
+            let c, t = !r in
+            r := (c + 1, t +. dt)
+          | None -> Hashtbl.replace spans_tbl path (ref (1, dt)))
     in
     match f () with
     | v ->
@@ -162,11 +207,12 @@ let with_span ?attrs name f =
 
 let spans () =
   List.sort compare
-    (Hashtbl.fold
-       (fun path r acc ->
-          let c, t = !r in
-          { span_path = path; span_calls = c; span_seconds = t } :: acc)
-       spans_tbl [])
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun path r acc ->
+              let c, t = !r in
+              { span_path = path; span_calls = c; span_seconds = t } :: acc)
+           spans_tbl []))
 
 (* ------------------------------------------------------------------ *)
 (* Oracle-call ledger *)
@@ -197,22 +243,23 @@ let agg_update ~oracle ~n ~arity ~size ~seconds =
    event.  [at] is the absolute start stamp of the timed region. *)
 let record_call ~oracle ~n ~arity ~size ~seconds ~at ~attrs =
   let seconds = Float.max 0.0 seconds in
-  calls_total := !calls_total + 1;
-  agg_update ~oracle ~n ~arity ~size ~seconds;
-  if !calls_stored < !ledger_cap_r then begin
-    calls_log :=
-      { call_oracle = oracle; call_n = n; call_arity = arity;
-        call_size = size; call_seconds = seconds }
-      :: !calls_log;
-    calls_stored := !calls_stored + 1
-  end
-  else calls_dropped_n := !calls_dropped_n + 1;
+  locked (fun () ->
+      calls_total := !calls_total + 1;
+      agg_update ~oracle ~n ~arity ~size ~seconds;
+      if !calls_stored < !ledger_cap_r then begin
+        calls_log :=
+          { call_oracle = oracle; call_n = n; call_arity = arity;
+            call_size = size; call_seconds = seconds }
+          :: !calls_log;
+        calls_stored := !calls_stored + 1
+      end
+      else calls_dropped_n := !calls_dropped_n + 1);
   if Trace.recording () then begin
     let trace_attrs =
       (("n", Trace.Int n) :: attrs)
       @ (if arity >= 0 then [ ("l", Trace.Int arity) ] else [])
       @ (if size >= 0 then [ ("size", Trace.Int size) ] else [])
-      @ (match !span_stack with
+      @ (match Domain.DLS.get span_stack with
          | path :: _ -> [ ("span", Trace.Str path) ]
          | [] -> [])
     in
@@ -234,38 +281,41 @@ let call ~oracle ~n ?(arity = -1) ?(size = -1) ?(attrs = []) f =
     r
   end
 
-let calls () = List.rev !calls_log
+let calls () = List.rev (locked (fun () -> !calls_log))
 
 let call_count ?oracle () =
-  match oracle with
-  | None -> !calls_total
-  | Some name -> (
-      match Hashtbl.find_opt agg_tbl name with
-      | Some a -> a.a_calls
-      | None -> 0)
+  locked (fun () ->
+      match oracle with
+      | None -> !calls_total
+      | Some name -> (
+          match Hashtbl.find_opt agg_tbl name with
+          | Some a -> a.a_calls
+          | None -> 0))
 
 (* ------------------------------------------------------------------ *)
 (* Substitution ledger *)
 
 let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
   if !enabled_flag then begin
-    (match Hashtbl.find_opt subst_agg_tbl kind with
-     | Some s ->
-       s.s_count <- s.s_count + 1;
-       s.s_pre_max <- max s.s_pre_max pre;
-       s.s_post_max <- max s.s_post_max post;
-       s.s_fresh <- s.s_fresh + fresh
-     | None ->
-       Hashtbl.replace subst_agg_tbl kind
-         { s_count = 1; s_pre_max = pre; s_post_max = post; s_fresh = fresh });
-    if !substs_stored < !ledger_cap_r then begin
-      substs_log :=
-        { subst_kind = kind; subst_pre = pre; subst_post = post;
-          subst_fresh = fresh; subst_width = width }
-        :: !substs_log;
-      substs_stored := !substs_stored + 1
-    end
-    else substs_dropped_n := !substs_dropped_n + 1;
+    locked (fun () ->
+        (match Hashtbl.find_opt subst_agg_tbl kind with
+         | Some s ->
+           s.s_count <- s.s_count + 1;
+           s.s_pre_max <- max s.s_pre_max pre;
+           s.s_post_max <- max s.s_post_max post;
+           s.s_fresh <- s.s_fresh + fresh
+         | None ->
+           Hashtbl.replace subst_agg_tbl kind
+             { s_count = 1; s_pre_max = pre; s_post_max = post;
+               s_fresh = fresh });
+        if !substs_stored < !ledger_cap_r then begin
+          substs_log :=
+            { subst_kind = kind; subst_pre = pre; subst_post = post;
+              subst_fresh = fresh; subst_width = width }
+            :: !substs_log;
+          substs_stored := !substs_stored + 1
+        end
+        else substs_dropped_n := !substs_dropped_n + 1);
     if Trace.recording () then
       Trace.subst
         ~attrs:
@@ -275,7 +325,7 @@ let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
         kind
   end
 
-let substs () = List.rev !substs_log
+let substs () = List.rev (locked (fun () -> !substs_log))
 
 (* ------------------------------------------------------------------ *)
 (* Phase markers *)
@@ -288,11 +338,12 @@ let phase ?attrs name =
 
 let aggregate () =
   List.sort compare
-    (Hashtbl.fold
-       (fun k a acc ->
-          (* copy: callers must not see (or mutate) the live record *)
-          (k, { a with a_calls = a.a_calls }) :: acc)
-       agg_tbl [])
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun k a acc ->
+              (* copy: callers must not see (or mutate) the live record *)
+              (k, { a with a_calls = a.a_calls }) :: acc)
+           agg_tbl []))
 
 let range lo hi =
   if hi < 0 then "-"
@@ -301,9 +352,11 @@ let range lo hi =
 
 let subst_aggregate () =
   List.sort compare
-    (Hashtbl.fold
-       (fun k s acc -> (k, (s.s_count, s.s_pre_max, s.s_post_max, s.s_fresh)) :: acc)
-       subst_agg_tbl [])
+    (locked (fun () ->
+         Hashtbl.fold
+           (fun k s acc ->
+              (k, (s.s_count, s.s_pre_max, s.s_post_max, s.s_fresh)) :: acc)
+           subst_agg_tbl []))
 
 let pp_report ppf () =
   let open Format in

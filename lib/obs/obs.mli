@@ -23,7 +23,15 @@
 
     When a {!Trace} stream is recording (see [--trace]), every entry
     point additionally emits a chronological trace event; tracing
-    requires {!enabled} to be on. *)
+    requires {!enabled} to be on.
+
+    {b Domain safety} ([--jobs]): all shared state (ledgers, aggregates,
+    counters, span table) is mutex-guarded, so concurrent recordings
+    from pool workers keep every aggregate exact.  The span {e nesting}
+    stack is domain-local; {!span_context}/{!with_span_context} let a
+    fan-out primitive propagate the caller's open-span path into worker
+    domains so hierarchical span paths match a sequential run.  The
+    enabled flag itself must only be toggled outside parallel regions. *)
 
 (** {1 Switch} *)
 
@@ -77,6 +85,16 @@ val with_span :
 
 (** Aggregated spans, sorted by path. *)
 val spans : unit -> span_stat list
+
+(** [span_context ()] is this domain's stack of open span paths
+    (innermost first).  Capture it before fanning work out to other
+    domains and re-install it there with {!with_span_context}, so spans
+    opened by workers nest under the caller's path. *)
+val span_context : unit -> string list
+
+(** [with_span_context ctx f] runs [f ()] with the span stack set to
+    [ctx], restoring the previous stack afterwards (also on raise). *)
+val with_span_context : string list -> (unit -> 'a) -> 'a
 
 (** {1 Oracle-call ledger} *)
 

@@ -32,7 +32,15 @@ let kind_of_name = function
 let default_cap = 65536
 
 (* Events are prepended and reversed on read-back; [stored] tracks the
-   list length so the cap check is O(1). *)
+   list length so the cap check is O(1).
+
+   Domain safety: all stream state is guarded by one [lock], so [seq]
+   stays strictly monotone and the event list never tears when pool
+   workers record concurrently ([--jobs]).  [recording_flag] is read
+   outside the lock as a cheap gate (like [Obs.enabled]); it is only
+   toggled outside parallel regions.  Under concurrent emission, [depth]
+   reflects the global begin/end balance — exact whenever recording is
+   sequential (the default [jobs = 1]), best-effort otherwise. *)
 let recording_flag = ref false
 let cap = ref default_cap
 let events_rev : event list ref = ref []
@@ -42,29 +50,37 @@ let seq_next = ref 0
 let depth_now = ref 0
 let t0 = ref 0.0
 
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let now = Unix.gettimeofday
 
 let recording () = !recording_flag
 
 let clear () =
-  recording_flag := false;
-  events_rev := [];
-  stored := 0;
-  dropped_n := 0;
-  seq_next := 0;
-  depth_now := 0
+  locked (fun () ->
+      recording_flag := false;
+      events_rev := [];
+      stored := 0;
+      dropped_n := 0;
+      seq_next := 0;
+      depth_now := 0)
 
 let start ?cap:(c = default_cap) () =
   clear ();
-  cap := max 0 c;
-  t0 := now ();
-  recording_flag := true
+  locked (fun () ->
+      cap := max 0 c;
+      t0 := now ();
+      recording_flag := true)
 
 let stop () = recording_flag := false
 
-let emitted () = !seq_next
-let dropped () = !dropped_n
-let events () = List.rev !events_rev
+let emitted () = locked (fun () -> !seq_next)
+let dropped () = locked (fun () -> !dropped_n)
+let events () = List.rev (locked (fun () -> !events_rev))
 
 let push ev =
   if !stored < !cap then begin
@@ -75,18 +91,18 @@ let push ev =
 
 let emit ?at ?dur ?(attrs = []) ~kind name =
   if !recording_flag then begin
-    let t =
-      (match at with Some t -> t | None -> now ()) -. !t0
-    in
-    let t = if t < 0.0 then 0.0 else t in
-    let seq = !seq_next in
-    incr seq_next;
-    (* A Span_end is recorded at the depth of its matching begin. *)
-    (match kind with
-     | Span_end -> if !depth_now > 0 then decr depth_now
-     | _ -> ());
-    push { seq; at = t; depth = !depth_now; kind; name; dur; attrs };
-    match kind with Span_begin -> incr depth_now | _ -> ()
+    let wall = match at with Some t -> t | None -> now () in
+    locked (fun () ->
+        let t = wall -. !t0 in
+        let t = if t < 0.0 then 0.0 else t in
+        let seq = !seq_next in
+        incr seq_next;
+        (* A Span_end is recorded at the depth of its matching begin. *)
+        (match kind with
+         | Span_end -> if !depth_now > 0 then decr depth_now
+         | _ -> ());
+        push { seq; at = t; depth = !depth_now; kind; name; dur; attrs };
+        match kind with Span_begin -> incr depth_now | _ -> ())
   end
 
 let span_begin ?attrs name = emit ?attrs ~kind:Span_begin name

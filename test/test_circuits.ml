@@ -77,6 +77,29 @@ let count_tests =
     t "count with larger universe" (fun () ->
         Alcotest.check bigint "8" (bi 8)
           (Count.count ~vars:[ 1; 2; 3; 4 ] example8));
+    t "disjoint or counts over the full gate scope" (fun () ->
+        (* Regression: the Cor (Disjoint, _) branch builds its result by
+           convolving per-child complements; that only lands on the gate
+           scope because cor_disj makes child scopes partition g.vars.
+           Pin both the universe invariant and the counts (including a
+           negated child, whose complement exercises smoothing). *)
+        let g =
+          Circuit.cor_disj
+            [ Circuit.cand [ cv 1; cv 2 ];
+              Circuit.cand [ Circuit.cnot (cv 3); cv 4 ] ]
+        in
+        let kv = Count.count_by_size ~vars:[ 1; 2; 3; 4 ] g in
+        Alcotest.(check int) "universe = |vars g|"
+          (Vset.cardinal (Circuit.vars g))
+          (Kvec.universe_size kv);
+        Alcotest.check kvec "counts = brute force"
+          (Brute.count_by_size ~vars:[ 1; 2; 3; 4 ] (Circuit.to_formula g))
+          kv;
+        (* nested disjoint ors, still partitioning the scope *)
+        let h = Circuit.cor_disj [ g; cv 5 ] in
+        Alcotest.check kvec "nested"
+          (Brute.count_by_size ~vars:[ 1; 2; 3; 4; 5 ] (Circuit.to_formula h))
+          (Count.count_by_size ~vars:[ 1; 2; 3; 4; 5 ] h));
     t "universe check" (fun () ->
         Alcotest.(check bool) "raises" true
           (try

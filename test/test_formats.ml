@@ -33,6 +33,35 @@ let dimacs_tests =
     t "tautological clauses dropped" (fun () ->
         let inst = Dimacs.parse_string "p cnf 1 1\n1 -1 0\n" in
         Alcotest.(check int) "dropped" 0 (List.length inst.Dimacs.clauses));
+    t "weight validation" (fun () ->
+        let contains ~sub s =
+          let n = String.length sub and m = String.length s in
+          let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        let expect_err ~sub s =
+          match Dimacs.parse_string s with
+          | _ -> Alcotest.failf "accepted %S" s
+          | exception Invalid_argument m ->
+            if not (contains ~sub m) then
+              Alcotest.failf "error %S does not mention %S" m sub
+        in
+        (* out-of-range variable, with the declaring line's number *)
+        expect_err ~sub:"out of range"
+          "p cnf 2 1\nc p weight 5 1/2 0\n1 2 0\n";
+        expect_err ~sub:"line 2" "p cnf 2 1\nc p weight 5 1/2 0\n1 2 0\n";
+        (* duplicate declaration, reported at the later line *)
+        expect_err ~sub:"duplicate"
+          "p cnf 2 1\nc p weight 1 1/2 0\nc p weight 1 1/3 0\n1 2 0\n";
+        expect_err ~sub:"line 3"
+          "p cnf 2 1\nc p weight 1 1/2 0\nc p weight 1 1/3 0\n1 2 0\n";
+        (* 0 is not a literal *)
+        expect_err ~sub:"weight literal" "p cnf 2 1\nc p weight 0 1/2 0\n1 2 0\n";
+        (* negative-literal weights remain implied, not errors *)
+        let inst =
+          Dimacs.parse_string "p cnf 2 1\nc p weight -1 1/2 0\n1 2 0\n"
+        in
+        Alcotest.(check int) "implied" 0 (List.length inst.Dimacs.weights));
     t "errors" (fun () ->
         List.iter
           (fun s ->

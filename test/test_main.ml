@@ -18,5 +18,6 @@ let () =
       ("negation", Test_negation.suite);
       ("cnf-compiler", Test_compile_cnf.suite);
       ("obs", Test_obs.suite);
+      ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("differential", Test_differential.suite) ]

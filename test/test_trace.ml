@@ -141,6 +141,52 @@ let lemma32_skeleton n =
       Alcotest.(check (list int)) "drops cover the universe" vars
         (List.sort compare dropped))
 
+(* The PQE route shares the Lemma 3.2 core, so its trace carries the
+   same phase skeleton: one full phase, then one drop phase per
+   variable, over (n+1) + n² probability-oracle events (the full
+   kcounts take n+1 θ-points, each dropped formula n). *)
+let pqe_skeleton n =
+  let st = Random.State.make [| 313; n |] in
+  let f =
+    QCheck.Gen.generate1 ~rand:st (Helpers.gen_formula ~nvars:n ~depth:n)
+  in
+  let vars = List.init n succ in
+  with_traced (fun () ->
+      let _ =
+        Pipeline.shap_via_pqe_oracle ~oracle:Pipeline.pqe_circuit_oracle
+          ~vars f
+      in
+      let evs = Trace.events () in
+      let oracles = events_of_kind Trace.Oracle evs in
+      Alcotest.(check int) "(n+1) + n^2 oracle events"
+        ((n + 1) + (n * n))
+        (List.length oracles);
+      List.iter
+        (fun e ->
+           Alcotest.(check string) "oracle name" "compiled-circuit"
+             e.Trace.name)
+        oracles;
+      Alcotest.(check int) "trace = ledger" (Obs.call_count ())
+        (List.length oracles);
+      let phases =
+        List.map (fun e -> e.Trace.name) (events_of_kind Trace.Phase evs)
+      in
+      (match phases with
+       | "lemma3.2.full" :: rest ->
+         Alcotest.(check int) "n drop phases" n
+           (List.length (List.filter (( = ) "lemma3.2.drop") rest))
+       | _ -> Alcotest.fail "first phase is not lemma3.2.full");
+      let dropped =
+        List.filter_map
+          (fun e ->
+             if e.Trace.kind = Trace.Phase && e.Trace.name = "lemma3.2.drop"
+             then Some (int_attr "i" e)
+             else None)
+          evs
+      in
+      Alcotest.(check (list int)) "drops cover the universe" vars
+        (List.sort compare dropped))
+
 let skeleton_tests =
   List.map
     (fun n -> t (Printf.sprintf "Lemma 3.3 skeleton, n = %d" n) (fun () ->
@@ -149,6 +195,10 @@ let skeleton_tests =
   @ List.map
       (fun n -> t (Printf.sprintf "Lemma 3.2 skeleton, n = %d" n) (fun () ->
            lemma32_skeleton n))
+      [ 2; 3 ]
+  @ List.map
+      (fun n -> t (Printf.sprintf "PQE route skeleton, n = %d" n) (fun () ->
+           pqe_skeleton n))
       [ 2; 3 ]
 
 (* ------------------------------------------------------------------ *)
