@@ -18,9 +18,14 @@
      SHAPMC_BENCH_TOL (default 1.0, i.e. allow 2x) and a fixed 0.25 s
      absolute slack so microsecond-scale sections never flap.
 
-   Sections present only in the current results are reported but do not
-   fail the gate (the baseline is regenerated deliberately when sections
-   are added); sections that disappeared do fail it. *)
+   Section sets must match exactly in both directions: a section present
+   in the baseline but absent from the results means an experiment was
+   dropped; a section present in the results but absent from the
+   baseline means the baseline is stale.  Either way the gate fails with
+   a per-key message naming the file the section is missing from, so the
+   fix (regenerate bench/baseline.json deliberately) is obvious.
+   Malformed or unreadable input fails with a [bench-check:] diagnostic
+   and exit code 2 rather than an uncaught exception. *)
 
 let tolerance =
   match Sys.getenv_opt "SHAPMC_BENCH_TOL" with
@@ -114,7 +119,7 @@ let check_section ~sec base cur =
          regression "%s: new oracle %s not in the baseline" sec name)
     c_oracles
 
-let () =
+let main () =
   if Array.length Sys.argv <> 3 then begin
     prerr_endline "usage: compare.exe baseline.json results.json";
     exit 2
@@ -137,13 +142,20 @@ let () =
   List.iter
     (fun (sec, b) ->
        match List.assoc_opt sec c_sections with
-       | None -> regression "%s: section disappeared" sec
+       | None ->
+         regression
+           "%s: section in baseline %s but missing from results %s (an \
+            experiment was dropped or renamed)"
+           sec Sys.argv.(1) Sys.argv.(2)
        | Some c -> check_section ~sec b c)
     b_sections;
   List.iter
     (fun (sec, _) ->
        if not (List.mem_assoc sec b_sections) then
-         Printf.printf "  note: new section %s (not in the baseline)\n" sec)
+         regression
+           "%s: section in results %s but missing from baseline %s \
+            (regenerate bench/baseline.json deliberately to admit it)"
+           sec Sys.argv.(2) Sys.argv.(1))
     c_sections;
   if !failures > 0 then begin
     Printf.printf
@@ -156,3 +168,17 @@ let () =
   end;
   Printf.printf "bench-check passed: %d sections within bounds\n"
     (List.length b_sections)
+
+let () =
+  try main () with
+  | Failure msg ->
+    let msg =
+      if String.length msg >= 12 && String.sub msg 0 12 = "bench-check:" then
+        msg
+      else "bench-check: " ^ msg
+    in
+    prerr_endline msg;
+    exit 2
+  | Sys_error msg ->
+    prerr_endline ("bench-check: " ^ msg);
+    exit 2

@@ -923,6 +923,35 @@ let results_entry ~id ~dt =
   Printf.sprintf "\"%s\":{\"seconds\":%s,\"oracles\":{%s}}" id
     (Obs.json_float dt) oracles
 
+(* The per-section line item of the append-only bench history
+   (BENCH_history.jsonl): wall-clock and oracle-call totals as in the
+   regression record, plus the observability signals this run produced —
+   oracle-latency percentiles rebuilt from the [oracle_seconds]
+   histograms, the Gc deltas bracketing the section, and pool
+   utilization (busy / (busy + idle), [null] when no parallel map ran).
+   Schema changes must bump the top-level "schema" field. *)
+let history_entry ~id ~dt ~alloc ~minor ~major =
+  let latency =
+    match Metrics.find_histograms "oracle_seconds" with
+    | [] -> "\"p50_ms\":null,\"p99_ms\":null"
+    | series ->
+      let h = Histogram.create () in
+      List.iter (fun (_, s) -> Histogram.merge_into ~into:h s) series;
+      let ms q = Obs.json_float (1000. *. Histogram.percentile h q) in
+      Printf.sprintf "\"p50_ms\":%s,\"p99_ms\":%s" (ms 0.5) (ms 0.99)
+  in
+  let pool_util =
+    let busy = Metrics.counter_total "pool_worker_busy_seconds" in
+    let idle = Metrics.counter_total "pool_worker_idle_seconds" in
+    if busy +. idle > 0.0 then Printf.sprintf "%.4f" (busy /. (busy +. idle))
+    else "null"
+  in
+  Printf.sprintf
+    "\"%s\":{\"seconds\":%s,\"calls\":%d,%s,\"alloc_bytes\":%.0f,\
+     \"minor_collections\":%d,\"major_collections\":%d,\"pool_util\":%s}"
+    id (Obs.json_float dt) (Obs.call_count ()) latency alloc minor major
+    pool_util
+
 let () =
   Printf.printf
     "shapmc benchmark harness — reproduction of Kara/Olteanu/Suciu, PODS 2024\n";
@@ -935,31 +964,46 @@ let () =
     Option.value ~default:"BENCH_results.json"
       (Sys.getenv_opt "SHAPMC_BENCH_RESULTS")
   in
+  let history_path =
+    Option.value ~default:"BENCH_history.jsonl"
+      (Sys.getenv_opt "SHAPMC_BENCH_HISTORY")
+  in
   let t0 = Unix.gettimeofday () in
   let sections =
     List.map
       (fun (id, f) ->
          Obs.reset ();
          Obs.enable ();
+         let alloc0 = Obs.allocated_bytes_now () in
+         let gc0 = Gc.quick_stat () in
          let s0 = Unix.gettimeofday () in
          f ();
          let dt = Unix.gettimeofday () -. s0 in
+         let gc1 = Gc.quick_stat () in
+         let alloc = Obs.allocated_bytes_now () -. alloc0 in
          let stats_json =
            Printf.sprintf "\"%s\":{\"seconds\":%.3f,\"stats\":%s}" id dt
              (Obs.to_json ())
          in
          let result_json = results_entry ~id ~dt in
+         let history_json =
+           history_entry ~id ~dt ~alloc
+             ~minor:(gc1.Gc.minor_collections - gc0.Gc.minor_collections)
+             ~major:(gc1.Gc.major_collections - gc0.Gc.major_collections)
+         in
          Obs.reset ();
-         (stats_json, result_json))
+         (stats_json, (result_json, history_json)))
       experiments
   in
+  let sections = List.map (fun (s, (r, h)) -> (s, r, h)) sections in
   Obs.disable ();
   let mode = if quick then "quick" else "full" in
+  let total = Unix.gettimeofday () -. t0 in
   if stats_path <> "none" then begin
     let oc = open_out stats_path in
     output_string oc
       (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n" mode
-         (String.concat "," (List.map fst sections)));
+         (String.concat "," (List.map (fun (s, _, _) -> s) sections)));
     close_out oc;
     Printf.printf "\nPer-section oracle/timing stats written to %s\n"
       stats_path
@@ -968,11 +1012,25 @@ let () =
     let oc = open_out results_path in
     output_string oc
       (Printf.sprintf "{\"mode\":\"%s\",\"sections\":{%s}}\n" mode
-         (String.concat "," (List.map snd sections)));
+         (String.concat "," (List.map (fun (_, r, _) -> r) sections)));
     close_out oc;
     Printf.printf
       "Regression-gate results written to %s (diff with bench/compare.exe)\n"
       results_path
   end;
-  Printf.printf "\nAll experiment sections completed in %.1fs.\n"
-    (Unix.gettimeofday () -. t0)
+  if history_path <> "none" then begin
+    (* Append-only: one line per run, so the committed file accumulates a
+       timeline of cost profiles across commits. *)
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history_path
+    in
+    output_string oc
+      (Printf.sprintf
+         "{\"schema\":1,\"ts\":%.0f,\"mode\":\"%s\",\"total_seconds\":%s,\
+          \"sections\":{%s}}\n"
+         (Unix.time ()) mode (Obs.json_float total)
+         (String.concat "," (List.map (fun (_, _, h) -> h) sections)));
+    close_out oc;
+    Printf.printf "Run summary appended to %s\n" history_path
+  end;
+  Printf.printf "\nAll experiment sections completed in %.1fs.\n" total

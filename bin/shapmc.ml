@@ -85,32 +85,99 @@ let jobs_arg =
   Arg.(value & opt int 1
        & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "SHAPMC_JOBS") ~doc)
 
+let profile_arg =
+  let doc =
+    "Profile the run and print a report after the result: per-phase self \
+     time, oracle-latency percentiles (p50/p90/p99/max by lemma and \
+     substitution arity), allocation per phase, Gc totals and — with \
+     $(b,--jobs) > 1 — pool utilization.  With no $(docv) (or $(docv) = \
+     $(b,-)) the report goes to stdout; otherwise it is written to \
+     $(docv).  Profiling never changes results or oracle-call counts."
+  in
+  Arg.(value
+       & opt ~vopt:(Some "-") (some string) None
+       & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry in OpenMetrics/Prometheus text exposition \
+     format to $(docv) after the run ($(b,-) for stdout): counters, \
+     gauges and latency/size histograms with cumulative buckets."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* The observation flags every subcommand shares, bundled into one term
+   so adding a flag touches one place instead of fifteen. *)
+type obs_opts = {
+  stats : bool;
+  trace : string option;
+  profile : string option;
+  metrics : string option;
+  jobs : int;
+}
+
+let obs_args =
+  let mk stats trace profile metrics jobs =
+    { stats; trace; profile; metrics; jobs }
+  in
+  Term.(const mk
+        $ stats_arg $ trace_arg $ profile_arg $ metrics_arg $ jobs_arg)
+
 let wrap f =
   try f () with
   | Invalid_argument m | Failure m ->
     Printf.eprintf "error: %s\n" m;
     exit 1
 
+let write_text_to ~what path text =
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text);
+    Printf.eprintf "%s: written to %s\n" what path
+  end
+
 (* Bracket a subcommand body with the parallelism knob (--jobs), the Obs
-   ledger (--stats) and the trace recorder (--trace FILE).  Stats and
-   trace compose: a single reset up front, the trace file written first
-   (a note on stderr keeps stdout clean), then the stats report —
-   neither clears the other's data. *)
-let with_obs ~stats ~trace ~jobs f =
-  Par.set_jobs jobs;
-  let live = stats || trace <> None in
+   ledger (--stats), the trace recorder (--trace FILE), the profiler
+   (--profile [FILE]) and the OpenMetrics dump (--metrics FILE).  All
+   compose: a single reset up front, the trace file written first (a
+   note on stderr keeps stdout clean), then stats, profile and metrics —
+   none clears another's data. *)
+let with_obs opts f =
+  Par.set_jobs opts.jobs;
+  let live =
+    opts.stats || opts.trace <> None || opts.profile <> None
+    || opts.metrics <> None
+  in
   if live then begin
     Obs.reset ();
-    Obs.enable ()
+    Obs.enable ();
+    Obs.set_profiling (opts.profile <> None)
   end;
-  if trace <> None then Trace.start ();
+  if opts.trace <> None then Trace.start ();
+  (* Gc bracket for the whole command body: allocation and collection
+     deltas plus the peak heap, reported as gauges. *)
+  let gc0 = Gc.quick_stat () in
+  let alloc0 = Obs.allocated_bytes_now () in
   let r = f () in
-  (match trace with
+  if live then begin
+    let gc1 = Gc.quick_stat () in
+    let word = float_of_int (Sys.word_size / 8) in
+    Metrics.set "gc_allocated_bytes" (Obs.allocated_bytes_now () -. alloc0);
+    Metrics.set "gc_minor_collections"
+      (float_of_int (gc1.Gc.minor_collections - gc0.Gc.minor_collections));
+    Metrics.set "gc_major_collections"
+      (float_of_int (gc1.Gc.major_collections - gc0.Gc.major_collections));
+    Metrics.set "gc_top_heap_bytes" (float_of_int gc1.Gc.top_heap_words *. word)
+  end;
+  (match opts.trace with
    | None -> ()
    | Some path ->
      Trace.stop ();
      let evs = Trace.events () in
-     Trace_export.write_file ~path evs;
+     Trace_export.write_file ~dropped:(Trace.dropped ()) ~path evs;
      let stored = List.length evs in
      Printf.eprintf "trace: %d event%s written to %s%s\n" stored
        (if stored = 1 then "" else "s")
@@ -119,9 +186,20 @@ let with_obs ~stats ~trace ~jobs f =
           Printf.sprintf " (%d dropped at the %d-event cap)" (Trace.dropped ())
             Trace.default_cap
         else ""));
-  if stats then Format.printf "@\n%a@?" Obs.pp_report ();
+  if opts.stats then Format.printf "@\n%a@?" Obs.pp_report ();
+  (match opts.profile with
+   | None -> ()
+   | Some path ->
+     let text = Metrics.profile_report () in
+     if path = "-" then print_string ("\n" ^ text)
+     else write_text_to ~what:"profile" path text);
+  (match opts.metrics with
+   | None -> ()
+   | Some path ->
+     write_text_to ~what:"metrics" path (Metrics.to_openmetrics ()));
   if live then begin
     Trace.clear ();
+    Obs.set_profiling false;
     Obs.disable ();
     Obs.reset ()
   end;
@@ -130,7 +208,7 @@ let with_obs ~stats ~trace ~jobs f =
 (* ------------------------------------------------------------------ *)
 
 let count_cmd =
-  let run stats trace jobs method_ n s =
+  let run opts method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -138,7 +216,7 @@ let count_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let result =
                 match method_ with
                 | "dpll" -> Dpll.count_universe ~vars f
@@ -153,13 +231,13 @@ let count_cmd =
   in
   let info = Cmd.info "count" ~doc:"Model count #F of a Boolean formula." in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
+    Term.(const run $ obs_args
           $ method_arg ~choices:[ "dpll"; "brute"; "circuit"; "obdd" ]
               ~default:"dpll"
           $ universe_arg $ formula_arg)
 
 let kcount_cmd =
-  let run stats trace jobs method_ n s =
+  let run opts method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -167,7 +245,7 @@ let kcount_cmd =
           exit 1
         | Ok (f, _) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let kv =
                 match method_ with
                 | "dpll" -> Dpll.count_by_size_universe ~vars f
@@ -189,7 +267,7 @@ let kcount_cmd =
       ~doc:"Fixed-size model counts #_k F (problem #_*C of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
+    Term.(const run $ obs_args
           $ method_arg
               ~choices:[ "dpll"; "brute"; "circuit"; "reduction" ]
               ~default:"dpll"
@@ -210,7 +288,7 @@ let print_shap names shap =
     (Rat.to_string (Naive.shap_sum shap))
 
 let shap_cmd =
-  let run stats trace jobs method_ n s =
+  let run opts method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -218,7 +296,7 @@ let shap_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let shap =
                 match method_ with
                 | "circuit" ->
@@ -240,14 +318,14 @@ let shap_cmd =
       ~doc:"Shapley value of every variable (problem Shap(C) of Section 3)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
+    Term.(const run $ obs_args
           $ method_arg
               ~choices:[ "circuit"; "reduction"; "pqe"; "subsets"; "permutations" ]
               ~default:"circuit"
           $ universe_arg $ formula_arg)
 
 let banzhaf_cmd =
-  let run stats trace jobs method_ n s =
+  let run opts method_ n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -255,7 +333,7 @@ let banzhaf_cmd =
           exit 1
         | Ok (f, names) ->
           let vars = universe_of ?n f in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let scores =
                 match method_ with
                 | "circuit" ->
@@ -273,7 +351,7 @@ let banzhaf_cmd =
     Cmd.info "banzhaf" ~doc:"Banzhaf value of every variable (comparison index)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
+    Term.(const run $ obs_args
           $ method_arg ~choices:[ "circuit"; "brute"; "dpll" ] ~default:"circuit"
           $ universe_arg $ formula_arg)
 
@@ -285,7 +363,7 @@ let approx_cmd =
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run stats trace jobs samples seed n s =
+  let run opts samples seed n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -298,7 +376,7 @@ let approx_cmd =
             | Some nm -> nm
             | None -> Printf.sprintf "x%d" i
           in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               List.iter
                 (fun e ->
                    Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
@@ -311,7 +389,7 @@ let approx_cmd =
       ~doc:"Approximate Shapley values by permutation sampling (Hoeffding CI)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ samples_arg $ seed_arg
+    Term.(const run $ obs_args $ samples_arg $ seed_arg
           $ universe_arg $ formula_arg)
 
 let prob_cmd =
@@ -320,7 +398,7 @@ let prob_cmd =
          & info [ "t"; "theta" ] ~docv:"THETA"
              ~doc:"Probability of each variable (a rational, e.g. 1/3).")
   in
-  let run stats trace jobs theta s =
+  let run opts theta s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -328,7 +406,7 @@ let prob_cmd =
           exit 1
         | Ok (f, _) ->
           let theta = Rat.of_string theta in
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let p =
                 Prob.probability ~weights:(fun _ -> theta) (Compile.compile f)
               in
@@ -338,10 +416,10 @@ let prob_cmd =
     Cmd.info "prob"
       ~doc:"Probability of the function under a uniform product distribution."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ theta_arg $ formula_arg)
+  Cmd.v info Term.(const run $ obs_args $ theta_arg $ formula_arg)
 
 let factor_cmd =
-  let run stats trace jobs s =
+  let run opts s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -350,7 +428,7 @@ let factor_cmd =
         | Ok (f, _) ->
           if not (Nf.is_positive f) then
             failwith "read-once factoring requires a positive formula";
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               match Read_once.factor (Nf.formula_to_pdnf f) with
               | Some tree ->
                 Printf.printf "read-once: %s\n"
@@ -360,17 +438,17 @@ let factor_cmd =
   let info =
     Cmd.info "factor" ~doc:"Read-once factoring of a positive formula."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ formula_arg)
+  Cmd.v info Term.(const run $ obs_args $ formula_arg)
 
 let compile_cmd =
-  let run stats trace jobs target s =
+  let run opts target s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               match target with
            | "circuit" ->
              let c, stats = Compile.compile_with_stats f in
@@ -392,16 +470,16 @@ let compile_cmd =
       ~doc:"Compile a formula to a d-D circuit or OBDD (Section 4)."
   in
   Cmd.v info
-    Term.(const run $ stats_arg $ trace_arg $ jobs_arg
+    Term.(const run $ obs_args
           $ method_arg ~choices:[ "circuit"; "obdd" ] ~default:"circuit"
           $ formula_arg)
 
 let classify_cmd =
-  let run stats trace jobs s =
+  let run opts s =
     wrap (fun () ->
         let q = Db_parser.parse_query s in
         Printf.printf "query: %s\n" (Cq.to_string q);
-        with_obs ~stats ~trace ~jobs (fun () ->
+        with_obs opts (fun () ->
             match Dichotomy.classify q with
         | Dichotomy.Hierarchical ->
           Printf.printf
@@ -426,13 +504,13 @@ let classify_cmd =
   let info =
     Cmd.info "classify" ~doc:"Classify a CQ per the Theorem 5.1 dichotomy."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ query_arg)
+  Cmd.v info Term.(const run $ obs_args $ query_arg)
 
 let lineage_cmd =
-  let run stats trace jobs file =
+  let run opts file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
-        with_obs ~stats ~trace ~jobs (fun () ->
+        with_obs opts (fun () ->
             let f = Lineage.lineage_formula db q in
             let report = Explain.explain db q in
             Format.printf "lineage: %s@\n%a@?" (Formula.to_string f) Explain.pp
@@ -442,13 +520,13 @@ let lineage_cmd =
     Cmd.info "lineage"
       ~doc:"Lineage and per-tuple Shapley values for a query over a database."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ file_arg)
+  Cmd.v info Term.(const run $ obs_args $ file_arg)
 
 let stretch_cmd =
-  let run stats trace jobs file =
+  let run opts file =
     wrap (fun () ->
         let db, q = Db_parser.parse_file file in
-        with_obs ~stats ~trace ~jobs @@ fun () ->
+        with_obs opts @@ fun () ->
         let is_endo r = Database.kind_of db r = Database.Endogenous in
         let qt, zs = Stretch.stretch_query ~is_endogenous:is_endo q in
         Printf.printf "query:     %s\n" (Cq.to_string q);
@@ -475,7 +553,7 @@ let stretch_cmd =
     Cmd.info "stretch"
       ~doc:"Stretch a query (Def. 10) and verify the Section 5.2 diagram."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ file_arg)
+  Cmd.v info Term.(const run $ obs_args $ file_arg)
 
 let dimacs_cmd =
   let what_arg =
@@ -484,12 +562,12 @@ let dimacs_cmd =
              ~doc:"What to compute: count, kcount, shap, or wmc (uses the \
                    instance's weight lines, default 1/2).")
   in
-  let run stats trace jobs what file =
+  let run opts what file =
     wrap (fun () ->
         let inst = Dimacs.parse_file file in
         let f = Dimacs.to_formula inst in
         let vars = Dimacs.variables inst in
-        with_obs ~stats ~trace ~jobs @@ fun () ->
+        with_obs opts @@ fun () ->
         match what with
         | "count" ->
           Printf.printf "%s\n" (Bigint.to_string (Dpll.count_universe ~vars f))
@@ -520,17 +598,17 @@ let dimacs_cmd =
     Cmd.info "dimacs"
       ~doc:"Count models / Shapley values of a DIMACS CNF instance."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ what_arg $ cnf_arg)
+  Cmd.v info Term.(const run $ obs_args $ what_arg $ cnf_arg)
 
 let export_nnf_cmd =
-  let run stats trace jobs s =
+  let run opts s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
           Printf.eprintf "error: %s\n" m;
           exit 1
         | Ok (f, _) ->
-          with_obs ~stats ~trace ~jobs (fun () ->
+          with_obs opts (fun () ->
               let vars = Vset.elements (Formula.vars f) in
               let m = Obdd.create_manager ~order:vars in
               let c = Obdd.to_circuit m (Obdd.of_formula m f) in
@@ -544,10 +622,10 @@ let export_nnf_cmd =
     Cmd.info "export-nnf"
       ~doc:"Compile a formula (via OBDD) and print it in c2d NNF format."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ formula_arg)
+  Cmd.v info Term.(const run $ obs_args $ formula_arg)
 
 let count_nnf_cmd =
-  let run stats trace jobs n file =
+  let run opts n file =
     wrap (fun () ->
         let c = Nnf_io.import_file file in
         let vars =
@@ -555,7 +633,7 @@ let count_nnf_cmd =
           | Some n -> List.init n succ
           | None -> Vset.elements (Circuit.vars c)
         in
-        with_obs ~stats ~trace ~jobs (fun () ->
+        with_obs opts (fun () ->
             Printf.printf "gates: %d\n" (Circuit.size c);
             Printf.printf "count: %s\n" (Bigint.to_string (Count.count ~vars c));
             print_shap [] (Circuit_shapley.shap_direct ~vars c)))
@@ -568,13 +646,13 @@ let count_nnf_cmd =
     Cmd.info "count-nnf"
       ~doc:"Model count and Shapley values of an externally compiled d-DNNF."
   in
-  Cmd.v info Term.(const run $ stats_arg $ trace_arg $ jobs_arg $ universe_arg $ nnf_arg)
+  Cmd.v info Term.(const run $ obs_args $ universe_arg $ nnf_arg)
 
 let trace_report_cmd =
-  let run file =
+  let run percentiles file =
     wrap (fun () ->
-        let events =
-          try Trace_export.read_jsonl_file file
+        let events, dropped =
+          try Trace_export.read_jsonl_file_full file
           with Failure m ->
             failwith
               (Printf.sprintf
@@ -582,19 +660,29 @@ let trace_report_cmd =
                   with --trace FILE.jsonl)"
                  m)
         in
-        print_string (Trace_export.report events))
+        print_string (Trace_export.report ~dropped ~percentiles events))
   in
   let trace_file_arg =
     Arg.(required & pos 0 (some file) None
          & info [] ~docv:"FILE.jsonl"
              ~doc:"JSONL trace written by $(b,--trace FILE.jsonl).")
   in
+  let percentiles_arg =
+    let doc =
+      "Append oracle-latency percentile rows (p50/p90/p99/max per oracle, \
+       lemma and substitution arity) computed from the recorded events \
+       through the same log-linear histograms as $(b,--profile); the \
+       per-group call counts equal the oracle totals above."
+    in
+    Arg.(value & flag & info [ "percentiles" ] ~doc)
+  in
   let info =
     Cmd.info "trace-report"
       ~doc:"Replay a recorded JSONL trace: indented timeline, per-phase \
-            aggregates and per-oracle totals."
+            aggregates and per-oracle totals.  Warns when the recording \
+            hit the event cap and events were dropped."
   in
-  Cmd.v info Term.(const run $ trace_file_arg)
+  Cmd.v info Term.(const run $ percentiles_arg $ trace_file_arg)
 
 let main =
   let doc =

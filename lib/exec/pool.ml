@@ -43,6 +43,24 @@ let as_worker body =
   Domain.DLS.set in_worker true;
   Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker was) body
 
+let now = Unix.gettimeofday
+
+(* Per-worker utilization accounting, only on the [Obs.enabled] path:
+   busy = Σ task durations, idle = worker wall − busy (cursor contention
+   and spawn skew), job-wait = task start − map start (queueing delay).
+   Everything goes into [Metrics], NOT into Obs counters/ledgers, so the
+   recorded oracle streams stay jobs-independent.  Histograms are built
+   locally (no lock per task) and merged once per worker. *)
+let flush_worker_metrics ~wid ~busy ~wall ~tasks ~h_task ~h_wait =
+  let open Shapmc_obs in
+  let wl = [ ("worker", string_of_int wid) ] in
+  Metrics.inc ~labels:wl ~by:busy "pool_worker_busy_seconds";
+  Metrics.inc ~labels:wl ~by:(Float.max 0. (wall -. busy))
+    "pool_worker_idle_seconds";
+  Metrics.inc ~labels:wl ~by:(float_of_int tasks) "pool_worker_tasks";
+  Metrics.merge_histogram "pool_task_seconds" h_task;
+  Metrics.merge_histogram "pool_job_wait_seconds" h_wait
+
 let map t f xs =
   let n = Array.length xs in
   let w = min t.jobs n in
@@ -50,6 +68,8 @@ let map t f xs =
   else begin
     let results = Array.make n None in
     let cursor = Atomic.make 0 in
+    let observing = Shapmc_obs.Obs.enabled () in
+    let t_map0 = if observing then now () else 0. in
     let run_tasks () =
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
@@ -65,13 +85,50 @@ let map t f xs =
       in
       loop ()
     in
+    let run_tasks_observed wid =
+      let open Shapmc_obs in
+      let t_w0 = now () in
+      let busy = ref 0. and tasks = ref 0 in
+      let h_task = Histogram.create () and h_wait = Histogram.create () in
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          let t0 = now () in
+          Histogram.observe h_wait (Float.max 0. (t0 -. t_map0));
+          let r =
+            try Ok (f xs.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          let dt = Float.max 0. (now () -. t0) in
+          busy := !busy +. dt;
+          incr tasks;
+          Histogram.observe h_task dt;
+          loop ()
+        end
+      in
+      loop ();
+      flush_worker_metrics ~wid ~busy:!busy
+        ~wall:(Float.max 0. (now () -. t_w0))
+        ~tasks:!tasks ~h_task ~h_wait
+    in
+    let worker wid () =
+      if observing then run_tasks_observed wid else run_tasks ()
+    in
     let domains =
-      List.init (w - 1) (fun _ -> Domain.spawn (fun () -> as_worker run_tasks))
+      List.init (w - 1) (fun k ->
+          Domain.spawn (fun () -> as_worker (worker (k + 1))))
     in
     (* The caller is the w-th worker; its exceptions are captured like any
        other task's, so join always runs. *)
-    as_worker run_tasks;
+    as_worker (worker 0);
     List.iter Domain.join domains;
+    if observing then begin
+      let open Shapmc_obs in
+      Metrics.inc "pool_maps";
+      Metrics.inc ~by:(Float.max 0. (now () -. t_map0)) "pool_map_seconds";
+      Metrics.set "pool_jobs" (float_of_int t.jobs)
+    end;
     Array.map
       (function
         | Some (Ok v) -> v

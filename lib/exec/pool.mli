@@ -19,5 +19,14 @@ val jobs : t -> int
     lowest failing index is re-raised with its original backtrace —
     failure behavior is independent of scheduling.  Nested calls from
     inside a task run sequentially in the calling worker, so composed
-    parallel reductions never oversubscribe the machine. *)
+    parallel reductions never oversubscribe the machine.
+
+    When [Obs.enabled], each parallel [map] additionally records pool
+    utilization into [Metrics.default]: per-worker
+    [pool_worker_busy_seconds] / [pool_worker_idle_seconds] /
+    [pool_worker_tasks] counters (labeled [worker=0] for the caller) and
+    [pool_task_seconds] / [pool_job_wait_seconds] histograms, plus
+    [pool_maps] / [pool_map_seconds] / [pool_jobs] totals.  These go to
+    the metrics registry only — Obs ledgers, counters and spans are
+    untouched, so recorded oracle streams remain jobs-independent. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array

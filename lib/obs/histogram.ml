@@ -1,0 +1,115 @@
+(* Log-linear histogram: one bucket array indexed by (binade, sub-bucket).
+
+   For v > 0, [frexp v = (m, e)] with m in [0.5, 1), so v lies in
+   [2^(e-1), 2^e).  Each binade is split into [sub] equal linear
+   sub-buckets, so the bucket width is 2^(e-1)/sub and the midpoint
+   approximation has relative error <= 1/(2*sub).  Exponents are
+   clamped to [e_min, e_max]; with e_min = -30 that covers ~1ns
+   latencies, with e_max = 37 it covers ~1.4e11 (sizes, bytes). *)
+
+let sub = 8
+let e_min = -30
+let e_max = 37
+let binades = e_max - e_min + 1
+let num_buckets = binades * sub
+
+type t = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_zero : int;  (* observations <= 0 (and NaN, clamped) *)
+  counts : int array;
+}
+
+let create () =
+  { h_count = 0;
+    h_sum = 0.;
+    h_min = infinity;
+    h_max = neg_infinity;
+    h_zero = 0;
+    counts = Array.make num_buckets 0 }
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let bucket_index v =
+  if not (v > 0.) then -1
+  else
+    let m, e = Float.frexp v in
+    if e < e_min then 0
+    else if e > e_max then num_buckets - 1
+    else (e - e_min) * sub + int_of_float ((m -. 0.5) *. 2. *. float_of_int sub)
+
+let bucket_bounds i =
+  let e = e_min + (i / sub) and s = i mod sub in
+  let lo = Float.ldexp (1. +. (float_of_int s /. float_of_int sub)) (e - 1) in
+  let hi = Float.ldexp (1. +. (float_of_int (s + 1) /. float_of_int sub)) (e - 1) in
+  (lo, hi)
+
+let observe t v =
+  let v = if Float.is_nan v || v < 0. then 0. else v in
+  t.h_count <- t.h_count + 1;
+  t.h_sum <- t.h_sum +. v;
+  if v < t.h_min then t.h_min <- v;
+  if v > t.h_max then t.h_max <- v;
+  if v = 0. then t.h_zero <- t.h_zero + 1
+  else
+    let i = bucket_index v in
+    t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.h_count
+let sum t = t.h_sum
+let min_value t = if t.h_count = 0 then nan else t.h_min
+let max_value t = if t.h_count = 0 then nan else t.h_max
+
+let merge_into ~into src =
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum +. src.h_sum;
+  if src.h_count > 0 then begin
+    if src.h_min < into.h_min then into.h_min <- src.h_min;
+    if src.h_max > into.h_max then into.h_max <- src.h_max
+  end;
+  into.h_zero <- into.h_zero + src.h_zero;
+  for i = 0 to num_buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done
+
+let merge a b =
+  let t = copy a in
+  merge_into ~into:t b;
+  t
+
+let clamp t v =
+  let v = if v < t.h_min then t.h_min else v in
+  if v > t.h_max then t.h_max else v
+
+let percentile t q =
+  if t.h_count = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int t.h_count)) in
+    let rank = if rank < 1 then 1 else if rank > t.h_count then t.h_count else rank in
+    if rank <= t.h_zero then clamp t 0.
+    else begin
+      let acc = ref t.h_zero and result = ref t.h_max in
+      (try
+         for i = 0 to num_buckets - 1 do
+           acc := !acc + t.counts.(i);
+           if !acc >= rank then begin
+             let lo, hi = bucket_bounds i in
+             result := clamp t ((lo +. hi) /. 2.);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+  end
+
+let buckets t =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      let _, hi = bucket_bounds i in
+      acc := (hi, t.counts.(i)) :: !acc
+  done;
+  if t.h_zero > 0 then (0., t.h_zero) :: !acc else !acc

@@ -27,7 +27,12 @@
    a plain ref: it is only toggled outside parallel regions (CLI startup,
    test brackets), never concurrently with recording. *)
 
-type span_stat = { span_path : string; span_calls : int; span_seconds : float }
+type span_stat = {
+  span_path : string;
+  span_calls : int;
+  span_seconds : float;
+  span_self_seconds : float;
+}
 
 type call = {
   call_oracle : string;
@@ -49,6 +54,19 @@ let enabled_flag = ref false
 let enabled () = !enabled_flag
 let enable () = enabled_flag := true
 let disable () = enabled_flag := false
+
+(* Profiling adds Gc sampling around each span.  Like [enabled], the
+   flag is only toggled outside parallel regions. *)
+let profiling_flag = ref false
+let profiling () = !profiling_flag
+let set_profiling b = profiling_flag := b
+
+(* Bytes allocated by this domain so far (minor + major - promoted, so
+   promotions are not double-counted).  [Gc.allocated_bytes] reads the
+   live young-generation pointer, so the count is accurate between
+   minor collections — unlike [Gc.quick_stat], whose [minor_words]
+   only advances at collection boundaries on the multicore runtime. *)
+let allocated_bytes_now () = Gc.allocated_bytes ()
 
 (* One lock for all shared recording state.  Held only for the few table
    updates of a record — never across a user callback or an oracle call —
@@ -106,20 +124,43 @@ type subst_agg = {
 
 let subst_agg_tbl : (string, subst_agg) Hashtbl.t = Hashtbl.create 4
 
-(* Span aggregation: path -> (calls, total seconds); [span_stack] holds
-   the current path so nested spans compose hierarchically.  The stack is
-   per-domain state (which spans are open HERE), so it lives in
-   domain-local storage rather than under [lock]. *)
-let spans_tbl : (string, (int * float) ref) Hashtbl.t = Hashtbl.create 32
+(* Span aggregation: path -> calls / total seconds / self seconds.
+   [span_stack] holds the current nesting as frames; each frame carries
+   the open span's path plus mutable accumulators of the time (and,
+   when profiling, allocation) spent in already-finished child spans,
+   so a finishing span can report self = total - children.  The stack
+   is per-domain state (which spans are open HERE), so it lives in
+   domain-local storage rather than under [lock]; frames are only ever
+   mutated by their own domain. *)
+type span_acc = {
+  mutable sp_calls : int;
+  mutable sp_seconds : float;
+  mutable sp_self : float;
+}
 
-let span_stack : string list Domain.DLS.key =
+let spans_tbl : (string, span_acc) Hashtbl.t = Hashtbl.create 32
+
+type frame = {
+  fr_path : string;
+  mutable fr_child : float;  (* seconds spent in finished child spans *)
+  mutable fr_child_alloc : float;  (* bytes allocated in finished children *)
+}
+
+let span_stack : frame list Domain.DLS.key =
   Domain.DLS.new_key (fun () -> [])
 
-let span_context () = Domain.DLS.get span_stack
+let frame_of_path p = { fr_path = p; fr_child = 0.; fr_child_alloc = 0. }
 
+let span_context () =
+  List.map (fun fr -> fr.fr_path) (Domain.DLS.get span_stack)
+
+(* Workers get FRESH frames for the caller's open spans: child time they
+   accumulate is credited inside the worker only, so cross-domain self
+   time is best-effort (exact under jobs = 1, where no context is ever
+   re-installed). *)
 let with_span_context ctx f =
   let saved = Domain.DLS.get span_stack in
-  Domain.DLS.set span_stack ctx;
+  Domain.DLS.set span_stack (List.map frame_of_path ctx);
   Fun.protect ~finally:(fun () -> Domain.DLS.set span_stack saved) f
 
 let reset () =
@@ -135,7 +176,8 @@ let reset () =
       substs_dropped_n := 0;
       Hashtbl.reset subst_agg_tbl;
       Hashtbl.reset spans_tbl);
-  Domain.DLS.set span_stack []
+  Domain.DLS.set span_stack [];
+  Metrics.reset ()
 
 let now = Unix.gettimeofday
 
@@ -154,6 +196,7 @@ let add name k =
             Hashtbl.replace counters_tbl name (ref k);
             k)
     in
+    Metrics.inc ~by:(float_of_int k) name;
     if Trace.recording () then Trace.counter ~value:total name
   end
 
@@ -176,25 +219,50 @@ let with_span ?attrs name f =
   else begin
     let stack = Domain.DLS.get span_stack in
     let path =
-      match stack with [] -> name | parent :: _ -> parent ^ "/" ^ name
+      match stack with [] -> name | parent :: _ -> parent.fr_path ^ "/" ^ name
     in
-    Domain.DLS.set span_stack (path :: stack);
+    Domain.DLS.set span_stack (frame_of_path path :: stack);
     if Trace.recording () then Trace.span_begin ?attrs name;
+    let prof = !profiling_flag in
+    let alloc0 = if prof then allocated_bytes_now () else 0. in
     let t0 = now () in
     let finish () =
       (* Unix.gettimeofday is not monotonic: clamp so a clock step back
          cannot produce a negative duration. *)
       let dt = Float.max 0.0 (now () -. t0) in
-      (match Domain.DLS.get span_stack with
-       | _ :: rest -> Domain.DLS.set span_stack rest
-       | [] -> ());
+      let d_alloc =
+        if prof then Float.max 0.0 (allocated_bytes_now () -. alloc0) else 0.
+      in
+      let child, child_alloc =
+        match Domain.DLS.get span_stack with
+        | fr :: rest ->
+          Domain.DLS.set span_stack rest;
+          (* credit this span's full time (and allocation) to the parent
+             so the parent's SELF time excludes it *)
+          (match rest with
+           | parent :: _ ->
+             parent.fr_child <- parent.fr_child +. dt;
+             if prof then
+               parent.fr_child_alloc <- parent.fr_child_alloc +. d_alloc
+           | [] -> ());
+          (fr.fr_child, fr.fr_child_alloc)
+        | [] -> (0., 0.)
+      in
+      let self = Float.max 0.0 (dt -. child) in
       if Trace.recording () then Trace.span_end name;
       locked (fun () ->
           match Hashtbl.find_opt spans_tbl path with
-          | Some r ->
-            let c, t = !r in
-            r := (c + 1, t +. dt)
-          | None -> Hashtbl.replace spans_tbl path (ref (1, dt)))
+          | Some a ->
+            a.sp_calls <- a.sp_calls + 1;
+            a.sp_seconds <- a.sp_seconds +. dt;
+            a.sp_self <- a.sp_self +. self
+          | None ->
+            Hashtbl.replace spans_tbl path
+              { sp_calls = 1; sp_seconds = dt; sp_self = self });
+      Metrics.observe ~labels:[ ("span", path) ] "span_self_seconds" self;
+      if prof then
+        Metrics.observe ~labels:[ ("span", path) ] "span_alloc_bytes"
+          (Float.max 0.0 (d_alloc -. child_alloc))
     in
     match f () with
     | v ->
@@ -209,9 +277,10 @@ let spans () =
   List.sort compare
     (locked (fun () ->
          Hashtbl.fold
-           (fun path r acc ->
-              let c, t = !r in
-              { span_path = path; span_calls = c; span_seconds = t } :: acc)
+           (fun path a acc ->
+              { span_path = path; span_calls = a.sp_calls;
+                span_seconds = a.sp_seconds; span_self_seconds = a.sp_self }
+              :: acc)
            spans_tbl []))
 
 (* ------------------------------------------------------------------ *)
@@ -254,13 +323,23 @@ let record_call ~oracle ~n ~arity ~size ~seconds ~at ~attrs =
         calls_stored := !calls_stored + 1
       end
       else calls_dropped_n := !calls_dropped_n + 1);
+  let lemma =
+    match List.assoc_opt "lemma" attrs with
+    | Some (Trace.Str s) -> s
+    | _ -> "-"
+  in
+  Metrics.observe
+    ~labels:
+      [ ("oracle", oracle); ("lemma", lemma);
+        ("l", if arity >= 0 then string_of_int arity else "-") ]
+    "oracle_seconds" seconds;
   if Trace.recording () then begin
     let trace_attrs =
       (("n", Trace.Int n) :: attrs)
       @ (if arity >= 0 then [ ("l", Trace.Int arity) ] else [])
       @ (if size >= 0 then [ ("size", Trace.Int size) ] else [])
       @ (match Domain.DLS.get span_stack with
-         | path :: _ -> [ ("span", Trace.Str path) ]
+         | fr :: _ -> [ ("span", Trace.Str fr.fr_path) ]
          | [] -> [])
     in
     Trace.oracle ~at ~dur:seconds ~attrs:trace_attrs oracle
@@ -316,6 +395,8 @@ let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
           substs_stored := !substs_stored + 1
         end
         else substs_dropped_n := !substs_dropped_n + 1);
+    Metrics.observe ~labels:[ ("kind", kind) ] "subst_post_size"
+      (float_of_int post);
     if Trace.recording () then
       Trace.subst
         ~attrs:
@@ -404,8 +485,8 @@ let pp_report ppf () =
      fprintf ppf "spans:@\n";
      List.iter
        (fun s ->
-          fprintf ppf "  %-52s %6d %10.4f@\n" s.span_path s.span_calls
-            s.span_seconds)
+          fprintf ppf "  %-52s %6d %10.4f %10.4f@\n" s.span_path s.span_calls
+            s.span_seconds s.span_self_seconds)
        ss)
 
 let report () = Format.asprintf "%a" pp_report ()
@@ -453,7 +534,8 @@ let to_json () =
                 ( s.span_path,
                   json_obj
                     [ ("calls", string_of_int s.span_calls);
-                      ("seconds", json_float s.span_seconds) ] ))
+                      ("seconds", json_float s.span_seconds);
+                      ("self_seconds", json_float s.span_self_seconds) ] ))
              (spans ())) );
       ( "oracle_calls",
         json_obj

@@ -25,6 +25,13 @@
     point additionally emits a chronological trace event; tracing
     requires {!enabled} to be on.
 
+    While enabled, recording entry points also feed the
+    {!Metrics.default} registry: oracle latency histograms
+    ([oracle_seconds{oracle,lemma,l}]), span self-time
+    ([span_self_seconds{span}]), substitution sizes
+    ([subst_post_size{kind}]) and counters, which back [--profile],
+    [--metrics] and the bench percentile columns.
+
     {b Domain safety} ([--jobs]): all shared state (ledgers, aggregates,
     counters, span table) is mutex-guarded, so concurrent recordings
     from pool workers keep every aggregate exact.  The span {e nesting}
@@ -39,8 +46,22 @@ val enabled : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
 
-(** [reset ()] clears all counters, spans and ledgers (but not the
-    enabled flag or the ledger cap). *)
+(** Profiling mode ([--profile]): spans additionally sample per-domain
+    [Gc] counters, recording a [span_alloc_bytes] histogram per span
+    path in {!Metrics.default}.  Requires {!enabled}; toggle only
+    outside parallel regions.  Off by default. *)
+val set_profiling : bool -> unit
+
+val profiling : unit -> bool
+
+(** Bytes allocated by the calling domain so far (minor + major −
+    promoted, from [Gc.quick_stat]); subtract two samples to bracket a
+    region. *)
+val allocated_bytes_now : unit -> float
+
+(** [reset ()] clears all counters, spans and ledgers, and resets the
+    default {!Metrics} registry (but not the enabled/profiling flags or
+    the ledger cap). *)
 val reset : unit -> unit
 
 (** {1 Ledger bounds} *)
@@ -74,7 +95,15 @@ val counters : unit -> (string * int) list
     ([pipeline.shap_via_count_oracle/linalg.vandermonde_solve]), so the
     report shows where time went {e within} each reduction stage. *)
 
-type span_stat = { span_path : string; span_calls : int; span_seconds : float }
+type span_stat = {
+  span_path : string;
+  span_calls : int;
+  span_seconds : float;  (** total wall-clock inside the span *)
+  span_self_seconds : float;
+      (** wall-clock minus time spent in child spans finished on the
+          same domain (self = total under [jobs = 1]; children finished
+          on other domains are not subtracted) *)
+}
 
 (** [with_span name f] runs [f ()] inside span [name]; when disabled it
     is exactly [f ()].  Durations are clamped to [>= 0] (the wall clock

@@ -168,7 +168,18 @@ let event_of_json json =
     dur;
     attrs }
 
-let events_of_jsonl text =
+(* A stream header carrying what the bounded in-memory buffer could not:
+   how many events were emitted past the cap.  Kept OUT of {!jsonl} (so
+   the event serialization round-trips exactly) and written only by
+   {!write_file}; readers skip any line with a "meta" field. *)
+let meta_line ~stored ~dropped =
+  Printf.sprintf
+    "{\"meta\":\"shapmc.trace\",\"version\":1,\"stored\":%d,\"dropped\":%d}\n"
+    stored dropped
+
+let is_meta json = Tiny_json.member "meta" json <> None
+
+let fold_jsonl text ~meta ~event =
   let lines = String.split_on_char '\n' text in
   let _, rev =
     List.fold_left
@@ -176,37 +187,66 @@ let events_of_jsonl text =
          let trimmed = String.trim line in
          if trimmed = "" then (lineno + 1, acc)
          else
-           let ev =
-             try event_of_json (Tiny_json.parse trimmed)
+           let json =
+             try Tiny_json.parse trimmed
              with Failure msg ->
                failwith (Printf.sprintf "line %d: %s" lineno msg)
            in
-           (lineno + 1, ev :: acc))
+           if is_meta json then begin
+             meta json;
+             (lineno + 1, acc)
+           end
+           else
+             let ev =
+               try event_of_json json
+               with Failure msg ->
+                 failwith (Printf.sprintf "line %d: %s" lineno msg)
+             in
+             (lineno + 1, event ev :: acc))
       (1, []) lines
   in
   List.rev rev
+
+let events_of_jsonl text =
+  fold_jsonl text ~meta:(fun _ -> ()) ~event:Fun.id
 
 let has_suffix ~suffix s =
   let ls = String.length suffix and l = String.length s in
   l >= ls && String.sub s (l - ls) ls = suffix
 
-let write_file ~path events =
+let write_file ?(dropped = 0) ~path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-       output_string oc
-         (if has_suffix ~suffix:".jsonl" path then jsonl events
-          else chrome events))
+       if has_suffix ~suffix:".jsonl" path then begin
+         output_string oc (meta_line ~stored:(List.length events) ~dropped);
+         output_string oc (jsonl events)
+       end
+       else output_string oc (chrome events))
 
-let read_jsonl_file path =
+let read_text path =
   let ic = open_in_bin path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_jsonl_file path = events_of_jsonl (read_text path)
+
+let read_jsonl_file_full path =
+  let dropped = ref 0 in
+  let events =
+    fold_jsonl (read_text path)
+      ~meta:(fun json ->
+        match Tiny_json.member "dropped" json with
+        | Some v -> (
+            match Tiny_json.to_int v with
+            | Some d -> dropped := d
+            | None -> ())
+        | None -> ())
+      ~event:Fun.id
   in
-  events_of_jsonl text
+  (events, !dropped)
 
 (* ------------------------------------------------------------------ *)
 (* Timeline report *)
@@ -242,9 +282,14 @@ let oracle_attr_str attrs =
 
 let ms s = s *. 1e3
 
-let report events =
+let report ?(dropped = 0) ?(percentiles = false) events =
   let b = Buffer.create 4096 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  if dropped > 0 then begin
+    line "WARNING: %d events dropped; aggregates from ledger, timeline \
+          truncated" dropped;
+    line ""
+  end;
   line "%6s %12s  %s" "seq" "t(ms)" "event";
   (* Span stack of (name, begin time) for end-of-span durations; streams
      truncated by the event cap may leave unmatched begins, so every pop
@@ -364,4 +409,67 @@ let report events =
      List.iter
        (fun (name, (c, t)) -> line "  %-48s %8d %14.3f" name c (ms t))
        rows);
+  if percentiles then begin
+    (* Latency distributions rebuilt from the oracle events through the
+       same log-linear histograms as the live metrics registry, grouped
+       by (oracle, lemma, arity) like [oracle_seconds].  Counts equal
+       the oracle totals above, so ledger, trace and metrics agree. *)
+    let groups : (string * string * string, Histogram.t) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    List.iter
+      (fun (e : Trace.event) ->
+         match e.Trace.kind with
+         | Trace.Oracle ->
+           let lemma =
+             match List.assoc_opt "lemma" e.Trace.attrs with
+             | Some (Trace.Str s) -> s
+             | _ -> "-"
+           in
+           let l =
+             match List.assoc_opt "l" e.Trace.attrs with
+             | Some (Trace.Int v) -> string_of_int v
+             | _ -> "-"
+           in
+           let key = (e.Trace.name, lemma, l) in
+           let h =
+             match Hashtbl.find_opt groups key with
+             | Some h -> h
+             | None ->
+               let h = Histogram.create () in
+               Hashtbl.replace groups key h;
+               h
+           in
+           Histogram.observe h (Option.value ~default:0.0 e.Trace.dur)
+         | _ -> ())
+      events;
+    line "";
+    line "oracle latency percentiles:";
+    let rows =
+      List.sort compare
+        (Hashtbl.fold (fun k h acc -> (k, h) :: acc) groups [])
+    in
+    if rows = [] then line "  (none)"
+    else begin
+      line "  %-16s %-6s %-5s %8s %10s %10s %10s %10s" "oracle" "lemma" "l"
+        "calls" "p50-ms" "p90-ms" "p99-ms" "max-ms";
+      let total = Histogram.create () in
+      List.iter
+        (fun ((name, lemma, l), h) ->
+           Histogram.merge_into ~into:total h;
+           line "  %-16s %-6s %-5s %8d %10.4f %10.4f %10.4f %10.4f" name
+             lemma l (Histogram.count h)
+             (ms (Histogram.percentile h 0.5))
+             (ms (Histogram.percentile h 0.9))
+             (ms (Histogram.percentile h 0.99))
+             (ms (Histogram.max_value h)))
+        rows;
+      line "  %-16s %-6s %-5s %8d %10.4f %10.4f %10.4f %10.4f" "TOTAL" ""
+        "" (Histogram.count total)
+        (ms (Histogram.percentile total 0.5))
+        (ms (Histogram.percentile total 0.9))
+        (ms (Histogram.percentile total 0.99))
+        (ms (Histogram.max_value total))
+    end
+  end;
   Buffer.contents b

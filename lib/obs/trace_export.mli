@@ -30,15 +30,28 @@ val events_of_jsonl : string -> Trace.event list
 (** Parse a whole JSONL document (blank lines skipped).
     @raise Failure with a line number on malformed input. *)
 
-val write_file : path:string -> Trace.event list -> unit
+val write_file : ?dropped:int -> path:string -> Trace.event list -> unit
 (** Write to [path]; a [.jsonl] suffix selects the JSONL format,
-    anything else gets Chrome [trace_event] JSON. *)
+    anything else gets Chrome [trace_event] JSON.  JSONL files start
+    with one meta line [{"meta":"shapmc.trace","version":1,"stored":K,
+    "dropped":D}] recording how many events the bounded buffer dropped
+    ([dropped], default [0]); readers skip meta lines, so the event
+    payload still round-trips. *)
 
 val read_jsonl_file : string -> Trace.event list
 
-val report : Trace.event list -> string
+val read_jsonl_file_full : string -> Trace.event list * int
+(** Like {!read_jsonl_file} but also returns the [dropped] count from
+    the meta line ([0] when the file has none). *)
+
+val report :
+  ?dropped:int -> ?percentiles:bool -> Trace.event list -> string
 (** Human-readable rendering of a stream: an indented chronological
     timeline (two spaces per nesting depth) followed by per-phase
     aggregates (events and oracle calls/time attributed to the most
     recent phase marker), per-oracle totals (the same counts as the
-    [--stats] ledger), and per-span totals. *)
+    [--stats] ledger), and per-span totals.  When [dropped > 0] the
+    report opens with a warning banner (the timeline is truncated but
+    ledger aggregates stayed exact).  [percentiles] appends per-
+    (oracle, lemma, arity) latency percentile rows rebuilt from the
+    oracle events through {!Histogram}. *)

@@ -41,4 +41,36 @@ if grep -q "^oracle calls:" <<<"$solo"; then
   fail "--trace alone printed the stats report"
 fi
 
+# JSONL traces open with the meta line carrying stored/dropped counts.
+head -1 t.jsonl | grep -q '"meta":"shapmc.trace"' \
+  || fail "t.jsonl lacks the meta line"
+head -1 t.jsonl | grep -q '"dropped":0' \
+  || fail "meta line lacks the dropped count"
+
+# --profile - prints the self-time/latency/Gc report after the result;
+# the oracle TOTAL must agree with the ledger's 13 calls.
+prof=$("$exe" shap -m reduction --profile - "x1 & (x2 | !x3)" 2>/dev/null)
+grep -q "5/6" <<<"$prof" || fail "profile run lost the Shapley values"
+grep -q "== Phases (self time) ==" <<<"$prof" \
+  || fail "profile lacks phase self-time"
+grep -q "== Oracle latency ==" <<<"$prof" \
+  || fail "profile lacks oracle latency"
+grep -q "gc_allocated_bytes" <<<"$prof" || fail "profile lacks Gc accounting"
+grep -qE "TOTAL +13 " <<<"$prof" \
+  || fail "profile oracle TOTAL disagrees with the ledger"
+
+# trace-report --percentiles rebuilds latency rows from the stream,
+# with the same TOTAL as the --stats ledger.
+perc=$("$exe" trace-report --percentiles t.jsonl)
+grep -q "oracle latency percentiles" <<<"$perc" \
+  || fail "trace-report lacks the percentile section"
+grep -qE "TOTAL +13 " <<<"$perc" \
+  || fail "percentile TOTAL disagrees with the ledger"
+
+# --metrics - emits OpenMetrics exposition on stdout.
+mets=$("$exe" shap -m reduction --metrics - "x1 & (x2 | !x3)" 2>/dev/null)
+grep -q "^# EOF" <<<"$mets" || fail "metrics exposition lacks # EOF"
+grep -q "shapmc_oracle_seconds_count" <<<"$mets" \
+  || fail "metrics exposition lacks oracle_seconds"
+
 echo "cli-trace: all checks passed"

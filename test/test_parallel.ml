@@ -214,4 +214,58 @@ let trace_tests =
              Alcotest.(check int) "stream = ledger" (Obs.call_count ())
                (List.length oracles))) ]
 
-let suite = pool_tests @ par_tests @ jobs_property_tests @ trace_tests
+(* ------------------------------------------------------------------ *)
+(* Ledger cap under parallel recording: once the raw call ledger
+   overflows, the stored prefix is schedule-dependent (arrival order),
+   but everything the cap preserves — total and dropped counts, the
+   stored size, and the exact aggregates — must stay identical across
+   jobs. *)
+
+let cap_tests =
+  [ t "capped ledger: aggregates independent of jobs" (fun () ->
+        let old_cap = Obs.ledger_cap () in
+        Fun.protect ~finally:(fun () -> Obs.set_ledger_cap old_cap)
+          (fun () ->
+             Obs.set_ledger_cap 8;
+             let run ~jobs =
+               Obs.reset ();
+               Obs.enable ();
+               Par.set_jobs jobs;
+               Fun.protect
+                 ~finally:(fun () ->
+                   Par.set_jobs 1;
+                   Obs.disable ();
+                   Obs.reset ())
+                 (fun () ->
+                    let r =
+                      Pipeline.shap_via_count_oracle
+                        ~oracle:Pipeline.dpll_count_oracle
+                        ~vars:(universe 3) Helpers.example2_formula
+                    in
+                    let aggs =
+                      List.map
+                        (fun (name, a) ->
+                           (name, a.Obs.a_calls, a.Obs.a_n_max, a.Obs.a_l_max,
+                            a.Obs.a_size_max))
+                        (Obs.aggregate ())
+                    in
+                    (r, Obs.call_count (), Obs.dropped_calls (),
+                     List.length (Obs.calls ()), aggs))
+             in
+             let r1, count1, dropped1, stored1, aggs1 = run ~jobs:1 in
+             (* 13 calls against a cap of 8: the cap really bites *)
+             Alcotest.(check int) "calls exceed the cap" 13 count1;
+             Alcotest.(check int) "stored at the cap" 8 stored1;
+             Alcotest.(check int) "drops counted" 5 dropped1;
+             List.iter
+               (fun jobs ->
+                  let r, count, dropped, stored, aggs = run ~jobs in
+                  Alcotest.(check bool) "result" true (shap_eq r1 r);
+                  Alcotest.(check int) "call_count" count1 count;
+                  Alcotest.(check int) "dropped" dropped1 dropped;
+                  Alcotest.(check int) "stored" stored1 stored;
+                  Alcotest.(check bool) "aggregates" true (aggs1 = aggs))
+               [ 2; 4 ])) ]
+
+let suite =
+  pool_tests @ par_tests @ jobs_property_tests @ trace_tests @ cap_tests

@@ -470,6 +470,60 @@ let roundtrip_tests =
               [ "lemma3.3.consult"; "lemma3.3.solve"; "oracle totals";
                 "per-phase aggregates"; "dpll" ])) ]
 
+(* ------------------------------------------------------------------ *)
+(* The JSONL meta line: written files carry stored/dropped bookkeeping
+   that survives a round trip; the report surfaces drops as a banner. *)
+
+let contains needle hay =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let meta_tests =
+  [ t "write_file records drops; read_jsonl_file_full recovers them"
+      (fun () ->
+         let evs = QCheck.Gen.generate1 ~rand:(Random.State.make [| 77 |])
+             gen_stream
+         in
+         let path = Filename.temp_file "shapmc_trace" ".jsonl" in
+         Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+             Trace_export.write_file ~dropped:5 ~path evs;
+             let back, dropped = Trace_export.read_jsonl_file_full path in
+             Alcotest.(check int) "dropped recovered" 5 dropped;
+             Alcotest.(check bool) "events survive" true (back = evs);
+             (* the plain reader skips the meta line silently *)
+             Alcotest.(check bool) "plain reader agrees" true
+               (Trace_export.read_jsonl_file path = evs)));
+    t "jsonl stays pure: no meta line without write_file" (fun () ->
+        let evs = QCheck.Gen.generate1 ~rand:(Random.State.make [| 78 |])
+            gen_stream
+        in
+        Alcotest.(check bool) "no meta in jsonl output" true
+          (not (contains "\"meta\"" (Trace_export.jsonl evs))));
+    t "report banners dropped events" (fun () ->
+        let r = Trace_export.report ~dropped:7 [] in
+        Alcotest.(check bool) "banner present" true
+          (contains
+             "WARNING: 7 events dropped; aggregates from ledger, timeline \
+              truncated"
+             r);
+        Alcotest.(check bool) "no banner at zero" true
+          (not (contains "WARNING" (Trace_export.report []))));
+    t "report --percentiles totals match the oracle events" (fun () ->
+        with_traced (fun () ->
+            let _ =
+              Pipeline.shap_via_count_oracle
+                ~oracle:Pipeline.dpll_count_oracle ~vars:[ 1; 2; 3 ]
+                Helpers.example2_formula
+            in
+            let evs = Trace.events () in
+            let r = Trace_export.report ~percentiles:true evs in
+            Alcotest.(check bool) "percentile section present" true
+              (contains "oracle latency percentiles" r);
+            (* the TOTAL row's call count equals the ledger's *)
+            Alcotest.(check bool) "TOTAL row carries 13 calls" true
+              (contains "TOTAL" r && Obs.call_count () = 13))) ]
+
 let suite =
   skeleton_tests @ gating_tests @ bound_tests @ clamp_tests @ chrome_tests
-  @ roundtrip_tests
+  @ roundtrip_tests @ meta_tests
