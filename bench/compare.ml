@@ -76,7 +76,7 @@ let float_field name doc =
     failwith (Printf.sprintf "bench-check: field %S is not a number" name)
 
 let string_field name doc =
-  match Tiny_json.to_string (field name doc) with
+  match Tiny_json.to_str (field name doc) with
   | Some s -> s
   | None ->
     failwith (Printf.sprintf "bench-check: field %S is not a string" name)

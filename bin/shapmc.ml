@@ -648,6 +648,111 @@ let count_nnf_cmd =
   in
   Cmd.v info Term.(const run $ obs_args $ universe_arg $ nnf_arg)
 
+let serve_cmd =
+  let open Shapmc_serve in
+  let files_arg =
+    let doc =
+      "Database+query files to serve (same format as $(b,shapmc lineage)); \
+       each becomes a named query, the name being the file's basename \
+       without extension."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~env:(Cmd.Env.info "SHAPMC_HOST")
+             ~doc:"Address to bind.  Also settable via $(env).")
+  in
+  let port_arg =
+    Arg.(value & opt int 8080
+         & info [ "p"; "port" ] ~docv:"PORT" ~env:(Cmd.Env.info "SHAPMC_PORT")
+             ~doc:"Port to bind; $(b,0) picks an ephemeral port (the bound \
+                   port is printed on startup).  Also settable via $(env).")
+  in
+  let max_header_arg =
+    Arg.(value & opt int Limits.default.Limits.max_header_bytes
+         & info [ "max-header-bytes" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_MAX_HEADER_BYTES")
+             ~doc:"Reject requests whose header section exceeds $(docv) \
+                   bytes (400).  Also settable via $(env).")
+  in
+  let max_body_arg =
+    Arg.(value & opt int Limits.default.Limits.max_body_bytes
+         & info [ "max-body-bytes" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_MAX_BODY_BYTES")
+             ~doc:"Reject requests declaring a body over $(docv) bytes \
+                   (413).  Also settable via $(env).")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float Limits.default.Limits.read_timeout
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~env:(Cmd.Env.info "SHAPMC_READ_TIMEOUT")
+             ~doc:"Close connections that stall mid-request for $(docv) \
+                   seconds (408).  Also settable via $(env).")
+  in
+  let max_conn_requests_arg =
+    Arg.(value & opt int Limits.default.Limits.max_conn_requests
+         & info [ "max-conn-requests" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_MAX_CONN_REQUESTS")
+             ~doc:"Answer at most $(docv) keep-alive requests per \
+                   connection before closing it.  Also settable via $(env).")
+  in
+  let drain_arg =
+    Arg.(value & opt float 5.0
+         & info [ "drain-deadline" ] ~docv:"SECONDS"
+             ~env:(Cmd.Env.info "SHAPMC_DRAIN_DEADLINE")
+             ~doc:"On SIGINT/SIGTERM, wait up to $(docv) seconds for \
+                   in-flight requests before force-closing their \
+                   connections.  Also settable via $(env).")
+  in
+  let run host port jobs max_header max_body read_timeout max_conn drain files
+      =
+    wrap (fun () ->
+        Par.set_jobs jobs;
+        let name_of path = Filename.remove_extension (Filename.basename path) in
+        let named = List.map (fun p -> (name_of p, p)) files in
+        let api =
+          try Api.load_files named
+          with Invalid_argument m -> failwith m
+        in
+        let limits =
+          { Limits.max_header_bytes = max_header;
+            max_body_bytes = max_body;
+            read_timeout;
+            max_conn_requests = max_conn }
+        in
+        let config =
+          { Server.host; port; jobs; limits; drain_deadline = drain }
+        in
+        let server = Server.create ~config (Api.routes api) in
+        Server.start server;
+        Printf.printf "shapmc serve: listening on http://%s:%d (%d quer%s, jobs=%d)\n%!"
+          host (Server.port server)
+          (List.length named)
+          (if List.length named = 1 then "y" else "ies")
+          jobs;
+        let on_signal _ = Server.stop server in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+        (* Dying clients must not kill the daemon mid-write. *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        Server.run server;
+        Printf.printf "shapmc serve: shut down cleanly (%d request%s served)\n%!"
+          (Server.requests_served server)
+          (if Server.requests_served server = 1 then "" else "s"))
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Long-running HTTP Shapley-attribution service: load databases \
+            and queries once, answer $(b,POST /v1/shapley) requests \
+            concurrently over the domain pool, serve OpenMetrics on \
+            $(b,GET /metrics)."
+  in
+  Cmd.v info
+    Term.(const run $ host_arg $ port_arg $ jobs_arg $ max_header_arg
+          $ max_body_arg $ read_timeout_arg $ max_conn_requests_arg
+          $ drain_arg $ files_arg)
+
 let trace_report_cmd =
   let run percentiles file =
     wrap (fun () ->
@@ -694,6 +799,6 @@ let main =
   Cmd.group info
     [ count_cmd; kcount_cmd; shap_cmd; banzhaf_cmd; approx_cmd; prob_cmd;
       factor_cmd; compile_cmd; classify_cmd; lineage_cmd; stretch_cmd;
-      dimacs_cmd; export_nnf_cmd; count_nnf_cmd; trace_report_cmd ]
+      dimacs_cmd; export_nnf_cmd; count_nnf_cmd; serve_cmd; trace_report_cmd ]
 
 let () = exit (Cmd.eval main)

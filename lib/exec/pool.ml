@@ -136,3 +136,104 @@ let map t f xs =
         | None -> assert false (* cursor handed out every index *))
       results
   end
+
+(* ------------------------------------------------------------------ *)
+(* Persistent executor: long-lived workers over a FIFO queue.          *)
+
+module Exec = struct
+  type t = {
+    e_jobs : int;
+    queue : (unit -> unit) Queue.t;
+    lock : Mutex.t;
+    work_cv : Condition.t;  (* signalled on submit and on shutdown *)
+    mutable stopping : bool;
+    mutable running : int;  (* tasks currently executing *)
+    mutable workers : unit Domain.t list;
+    mutable joined : bool;
+  }
+
+  let worker t () =
+    let rec loop () =
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.stopping do
+        Condition.wait t.work_cv t.lock
+      done;
+      (* Drain what is already queued even when stopping: shutdown is
+         graceful, not abortive. *)
+      if Queue.is_empty t.queue then Mutex.unlock t.lock
+      else begin
+        let task = Queue.pop t.queue in
+        t.running <- t.running + 1;
+        Mutex.unlock t.lock;
+        (try as_worker task
+         with _ -> Shapmc_obs.Metrics.inc "pool_exec_task_errors");
+        Mutex.lock t.lock;
+        t.running <- t.running - 1;
+        Mutex.unlock t.lock;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~jobs =
+    let jobs = max 1 (min jobs max_jobs) in
+    let t =
+      { e_jobs = jobs;
+        queue = Queue.create ();
+        lock = Mutex.create ();
+        work_cv = Condition.create ();
+        stopping = false;
+        running = 0;
+        workers = [];
+        joined = false }
+    in
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (worker t));
+    t
+
+  let jobs t = t.e_jobs
+
+  let submit t task =
+    Mutex.lock t.lock;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      false
+    end
+    else begin
+      Queue.push task t.queue;
+      Condition.signal t.work_cv;
+      Mutex.unlock t.lock;
+      true
+    end
+
+  let pending t =
+    Mutex.lock t.lock;
+    let p = Queue.length t.queue + t.running in
+    Mutex.unlock t.lock;
+    p
+
+  let shutdown ?deadline t =
+    Mutex.lock t.lock;
+    t.stopping <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.lock;
+    let until =
+      match deadline with None -> None | Some d -> Some (now () +. d)
+    in
+    let rec drain () =
+      if pending t = 0 then true
+      else
+        match until with
+        | Some u when now () >= u -> false
+        | _ ->
+          Unix.sleepf 0.002;
+          drain ()
+    in
+    let drained = drain () in
+    if drained && not t.joined then begin
+      (* Queue empty and nothing running: every worker is exiting (the
+         broadcast above woke any waiter), so these joins return. *)
+      List.iter Domain.join t.workers;
+      t.joined <- true
+    end;
+    drained
+end

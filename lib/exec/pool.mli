@@ -30,3 +30,40 @@ val jobs : t -> int
     the metrics registry only — Obs ledgers, counters and spans are
     untouched, so recorded oracle streams remain jobs-independent. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** A persistent executor: long-lived worker domains draining a FIFO
+    task queue.  Where {!map} is a batch fan-out (spawn, work, join),
+    [Exec] keeps its domains alive between submissions — the shape a
+    server needs to dispatch independent requests as they arrive.
+
+    Tasks run with the pool's nested-fan-out flag set, so a {!map} (or
+    [Par.map]) issued from inside a task degrades to the sequential
+    loop instead of oversubscribing the machine: an executor of [jobs]
+    workers never runs on more than [jobs] domains. *)
+module Exec : sig
+  type t
+
+  (** [create ~jobs] spawns [jobs] worker domains (clamped to
+      [1..64]). *)
+  val create : jobs:int -> t
+
+  val jobs : t -> int
+
+  (** [submit t task] enqueues [task]; returns [false] (without
+      enqueuing) once {!shutdown} has been called.  A task that raises
+      is dropped after recording a [pool_exec_task_errors] metric —
+      worker domains never die to an exception. *)
+  val submit : t -> (unit -> unit) -> bool
+
+  (** Tasks queued plus tasks currently executing. *)
+  val pending : t -> int
+
+  (** [shutdown ?deadline t] stops accepting new tasks, lets the
+      workers drain everything already queued, and waits up to
+      [deadline] seconds (default: forever) for them to finish.
+      Returns [true] — after joining every worker — if the queue
+      drained in time; [false] leaves the stragglers running (the
+      caller can unblock them, e.g. by closing their sockets, and call
+      [shutdown] again — the call is idempotent). *)
+  val shutdown : ?deadline:float -> t -> bool
+end

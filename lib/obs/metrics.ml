@@ -309,21 +309,8 @@ let parse_openmetrics text =
 (* ------------------------------------------------------------------ *)
 (* JSON dump                                                          *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON string escaping lives in one place: the Tiny_json serializer. *)
+let json_escape = Tiny_json.escape
 
 let json_float f =
   if Float.is_nan f || f = infinity || f = neg_infinity then "null"

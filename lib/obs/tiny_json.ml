@@ -205,6 +205,78 @@ let parse s =
 
 let parse_opt s = try Some (parse s) with Failure _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* Printing.  The inverse of [parse] up to non-finite floats (which
+   JSON cannot represent; they print as null). *)
+
+let escape_into b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  escape_into b s;
+  Buffer.contents b
+
+let quote s = "\"" ^ escape s ^ "\""
+
+(* Shortest decimal form that reads back as the same float, forced to
+   contain '.' or an exponent so it parses as [Float] again. *)
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then "null"
+  else
+    let s =
+      let short = Printf.sprintf "%.12g" f in
+      if float_of_string short = f then short else Printf.sprintf "%.17g" f
+    in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | Str s ->
+      Buffer.add_char b '"';
+      escape_into b s;
+      Buffer.add_char b '"'
+    | List l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          go v)
+        l;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape_into b k;
+          Buffer.add_string b "\":";
+          go v)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
@@ -220,6 +292,6 @@ let to_float = function
   | Int v -> Some (float_of_int v)
   | _ -> None
 
-let to_string = function Str s -> Some s | _ -> None
+let to_str = function Str s -> Some s | _ -> None
 let to_list = function List l -> Some l | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None

@@ -23,6 +23,25 @@ val parse : string -> t
 
 val parse_opt : string -> t option
 
+(** {1 Printing} — the escaping-correct serializer every exporter and
+    the HTTP server route their JSON through. *)
+
+val to_string : t -> string
+(** Minified serialization.  [parse (to_string v) = v] for every value
+    whose floats are finite: strings escape the double quote, [\\] and all control
+    characters (named escapes for [\n]/[\t]/[\r], [\uXXXX] otherwise)
+    and pass non-ASCII bytes through untouched; an integral {!Float}
+    prints with a trailing [.0] so it reads back as {!Float}, not
+    {!Int}.  Non-finite floats have no JSON representation and print as
+    [null]. *)
+
+val quote : string -> string
+(** [quote s] is [s] as a JSON string literal, escaped as in
+    {!to_string} — for exporters that assemble documents piecewise. *)
+
+val escape : string -> string
+(** [quote] without the surrounding double quotes. *)
+
 (** {1 Accessors} — total lookups returning [option]. *)
 
 val member : string -> t -> t option
@@ -34,6 +53,6 @@ val to_int : t -> int option
 val to_float : t -> float option
 (** {!Float} or {!Int}. *)
 
-val to_string : t -> string option
+val to_str : t -> string option
 val to_list : t -> t list option
 val to_bool : t -> bool option

@@ -1,21 +1,8 @@
 (* ------------------------------------------------------------------ *)
 (* JSON writing primitives *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-       match c with
-       | '"' -> Buffer.add_string b "\\\""
-       | '\\' -> Buffer.add_string b "\\\\"
-       | '\n' -> Buffer.add_string b "\\n"
-       | c when Char.code c < 32 ->
-         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let quote s = "\"" ^ escape s ^ "\""
+(* JSON string escaping lives in one place: the Tiny_json serializer. *)
+let quote = Tiny_json.quote
 
 (* Round-trip float syntax: %.17g preserves every finite double, and a
    forced fraction mark keeps the value a Float on read-back.  Non-finite
@@ -135,7 +122,7 @@ let event_of_json json =
     | None -> failwith ("Trace_export: field " ^ name ^ " is not a number")
   in
   let str_field name =
-    match Tiny_json.to_string (get name) with
+    match Tiny_json.to_str (get name) with
     | Some v -> v
     | None -> failwith ("Trace_export: field " ^ name ^ " is not a string")
   in

@@ -1,0 +1,298 @@
+module J = Tiny_json
+
+type entry = {
+  name : string;
+  db : Database.t;
+  query : Cq.t;
+  facts : (int * string * Value.t array) array;
+}
+
+(* Memo slots live beside the entries: one lineage compilation per
+   query per process lifetime (the cross-query compilation cache is
+   ROADMAP item 2, deliberately not this layer). *)
+type memo = {
+  mutable shap : ((int * Rat.t) list * Dichotomy.solver) option;
+  lock : Mutex.t;
+}
+
+type t = { list : (entry * memo) list }
+
+let facts_of db =
+  let all =
+    List.concat_map
+      (fun rel ->
+        List.filter_map
+          (fun (st : Database.stored) ->
+            match st.Database.lvar with
+            | Some v -> Some (v, rel, st.Database.values)
+            | None -> None)
+          (Database.tuples db rel))
+      (Database.relation_names db)
+  in
+  let arr = Array.of_list all in
+  Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
+  arr
+
+let of_pairs pairs =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        invalid_arg ("Api.of_pairs: duplicate query name " ^ name);
+      Hashtbl.add seen name ())
+    pairs;
+  { list =
+      List.map
+        (fun (name, (db, query)) ->
+          ( { name; db; query; facts = facts_of db },
+            { shap = None; lock = Mutex.create () } ))
+        pairs }
+
+let load_files files =
+  of_pairs
+    (List.map (fun (name, path) -> (name, Db_parser.parse_file path)) files)
+
+let entries t = List.map fst t.list
+
+let find_slot t name =
+  List.find_opt (fun (e, _) -> e.name = name) t.list
+
+let find t name = Option.map fst (find_slot t name)
+
+let shapley_all t entry =
+  match find_slot t entry.name with
+  | None -> invalid_arg ("Api.shapley_all: unknown entry " ^ entry.name)
+  | Some (e, memo) ->
+    Mutex.lock memo.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock memo.lock)
+      (fun () ->
+        match memo.shap with
+        | Some r -> r
+        | None ->
+          let r = Dichotomy.shapley e.db e.query in
+          memo.shap <- Some r;
+          r)
+
+(* ------------------------------------------------------------------ *)
+(* Cursors: "f" + zero-padded decimal, so token order IS fact order.   *)
+
+let cursor_width = 12
+
+let cursor_of_fact id = Printf.sprintf "f%0*d" cursor_width id
+
+let fact_of_cursor s =
+  if
+    String.length s = cursor_width + 1
+    && s.[0] = 'f'
+    && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 cursor_width)
+  then int_of_string_opt (String.sub s 1 cursor_width)
+  else None
+
+let default_limit = 100
+
+let max_limit = 1000
+
+(* Shared pagination: [facts] sorted ascending; a page is the first
+   [limit] facts strictly after the cursor's id. *)
+type 'e page_result = ('e, Router.response) result
+
+let paginate ~cursor ~limit (facts : (int * 'a * 'b) array) :
+    ((int * 'a * 'b) list * string option) page_result =
+  match
+    match cursor with
+    | None -> Ok (-1)
+    | Some c -> (
+        match fact_of_cursor c with
+        | Some id -> Ok id
+        | None -> Error (Json_codec.error 400 ("malformed cursor: " ^ c)))
+  with
+  | Error e -> Error e
+  | Ok after -> (
+      match limit with
+      | Some l when l < 1 ->
+        Error (Json_codec.error 400 "limit must be at least 1")
+      | _ ->
+        let limit =
+          min max_limit (Option.value ~default:default_limit limit)
+        in
+        let n = Array.length facts in
+        (* First index with id > after (facts sorted by id). *)
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          let id, _, _ = facts.(mid) in
+          if id <= after then lo := mid + 1 else hi := mid
+        done;
+        let start = !lo in
+        let len = min limit (n - start) in
+        let page = Array.to_list (Array.sub facts start len) in
+        let next =
+          if start + len < n && len > 0 then
+            let id, _, _ = facts.(start + len - 1) in
+            Some (cursor_of_fact id)
+          else None
+        in
+        Ok (page, next))
+
+(* ------------------------------------------------------------------ *)
+(* Handlers                                                            *)
+
+let classification_string q =
+  match Dichotomy.classify q with
+  | Dichotomy.Hierarchical -> "hierarchical"
+  | Dichotomy.Non_hierarchical _ -> "non-hierarchical"
+  | Dichotomy.Has_self_joins -> "self-joins"
+  | Dichotomy.Has_negation -> "negation"
+
+let solver_string = function
+  | Dichotomy.Safe_plan_circuit -> "safe-plan-circuit"
+  | Dichotomy.Compiled_dnf -> "compiled-dnf"
+
+let healthz t _req =
+  Json_codec.json_response
+    (J.Obj
+       [ ("status", J.Str "ok");
+         ("queries", J.Int (List.length t.list)) ])
+
+let queries t _req =
+  Json_codec.json_response
+    (J.Obj
+       [ ( "queries",
+           J.List
+             (List.map
+                (fun (e, _) ->
+                  J.Obj
+                    [ ("name", J.Str e.name);
+                      ("query", J.Str (Cq.to_string e.query));
+                      ("facts", J.Int (Array.length e.facts));
+                      ( "classification",
+                        J.Str (classification_string e.query) ) ])
+                t.list) ) ])
+
+let with_entry t name k =
+  match find t name with
+  | None -> Json_codec.error 404 ("no such query: " ^ name)
+  | Some e -> k e
+
+let fact_json (id, rel, tuple) =
+  J.Obj
+    [ ("id", J.Int id);
+      ("cursor", J.Str (cursor_of_fact id));
+      ("relation", J.Str rel);
+      ("tuple", Json_codec.tuple tuple) ]
+
+let facts t (req : Http.request) =
+  match List.assoc_opt "query" req.Http.query with
+  | None -> Json_codec.error 400 "missing query parameter: query"
+  | Some name ->
+    with_entry t name @@ fun e ->
+    let cursor = List.assoc_opt "cursor" req.Http.query in
+    let limit =
+      match List.assoc_opt "limit" req.Http.query with
+      | None -> Ok None
+      | Some raw -> (
+          match int_of_string_opt raw with
+          | Some l -> Ok (Some l)
+          | None -> Error (Json_codec.error 400 ("malformed limit: " ^ raw)))
+    in
+    (match limit with
+     | Error resp -> resp
+     | Ok limit -> (
+         match paginate ~cursor ~limit e.facts with
+         | Error resp -> resp
+         | Ok (page, next) ->
+           Json_codec.json_response
+             (J.Obj
+                ([ ("query", J.Str name);
+                   ("total", J.Int (Array.length e.facts));
+                   ("facts", J.List (List.map fact_json page)) ]
+                @
+                match next with
+                | Some c -> [ ("next_cursor", J.Str c) ]
+                | None -> []))))
+
+let shap_json values (id, rel, tuple) =
+  match List.assoc_opt id values with
+  | None -> None
+  | Some v ->
+    Some
+      (J.Obj
+         [ ("fact", J.Int id);
+           ("relation", J.Str rel);
+           ("tuple", Json_codec.tuple tuple);
+           ("shapley", Json_codec.rat v) ])
+
+let shapley t (req : Http.request) =
+  match Json_codec.parse_body req with
+  | Error resp -> resp
+  | Ok body -> (
+      match (Json_codec.str_field "query" body, Json_codec.int_field "fact" body)
+      with
+      | Error resp, _ | _, Error resp -> resp
+      | Ok name, Ok fact_id ->
+        with_entry t name @@ fun e ->
+        (match
+           Array.find_opt (fun (id, _, _) -> id = fact_id) e.facts
+         with
+         | None ->
+           Json_codec.error 404
+             (Printf.sprintf "query %s has no fact %d" name fact_id)
+         | Some (id, rel, tuple) ->
+           let values, solver = shapley_all t e in
+           (match List.assoc_opt id values with
+            | None ->
+              Json_codec.error 500
+                (Printf.sprintf "no Shapley value for fact %d" id)
+            | Some v ->
+              Json_codec.json_response
+                (J.Obj
+                   [ ("query", J.Str name);
+                     ("fact", J.Int id);
+                     ("relation", J.Str rel);
+                     ("tuple", Json_codec.tuple tuple);
+                     ("solver", J.Str (solver_string solver));
+                     ("shapley", Json_codec.rat v) ]))))
+
+let shapley_all_route t (req : Http.request) =
+  match Json_codec.parse_body req with
+  | Error resp -> resp
+  | Ok body -> (
+      match
+        ( Json_codec.str_field "query" body,
+          Json_codec.opt_str_field "cursor" body,
+          Json_codec.opt_int_field "limit" body )
+      with
+      | Error resp, _, _ | _, Error resp, _ | _, _, Error resp -> resp
+      | Ok name, Ok cursor, Ok limit ->
+        with_entry t name @@ fun e ->
+        (match paginate ~cursor ~limit e.facts with
+         | Error resp -> resp
+         | Ok (page, next) ->
+           let values, solver = shapley_all t e in
+           let vals = List.filter_map (shap_json values) page in
+           Json_codec.json_response
+             (J.Obj
+                ([ ("query", J.Str name);
+                   ("total", J.Int (Array.length e.facts));
+                   ("solver", J.Str (solver_string solver));
+                   ("values", J.List vals) ]
+                @
+                match next with
+                | Some c -> [ ("next_cursor", J.Str c) ]
+                | None -> []))))
+
+let metrics _req =
+  { Router.status = 200;
+    headers =
+      [ ( "Content-Type",
+          "application/openmetrics-text; version=1.0.0; charset=utf-8" ) ];
+    body = Metrics.to_openmetrics () }
+
+let routes t =
+  [ Router.route Http.GET "/healthz" (healthz t);
+    Router.route Http.GET "/v1/queries" (queries t);
+    Router.route Http.GET "/v1/facts" (facts t);
+    Router.route Http.POST "/v1/shapley" (shapley t);
+    Router.route Http.POST "/v1/shapley/all" (shapley_all_route t);
+    Router.route Http.GET "/metrics" metrics ]

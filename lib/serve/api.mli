@@ -1,0 +1,53 @@
+(** The JSON API of [shapmc serve]: a set of named (database, query)
+    pairs loaded once at startup, Shapley answers memoized per query —
+    one lineage compilation per query per process lifetime — and
+    cursor-paginated fact enumeration.
+
+    Routes:
+    - [GET /healthz] — liveness + loaded-query count
+    - [GET /v1/queries] — every query with its Theorem 5.1 class
+    - [GET /v1/facts?query=Q&cursor=&limit=] — endogenous facts, paged
+    - [POST /v1/shapley] [{query, fact}] — one fact's exact Shapley value
+    - [POST /v1/shapley/all] [{query, cursor?, limit?}] — all facts, paged
+    - [GET /metrics] — OpenMetrics exposition of {!Metrics.default} *)
+
+type entry = {
+  name : string;
+  db : Database.t;
+  query : Cq.t;
+  facts : (int * string * Value.t array) array;
+      (** endogenous facts as [(lineage var, relation, tuple)], sorted
+          by ascending lineage variable — the pagination order *)
+}
+
+type t
+
+(** [of_pairs [(name, (db, q)); ...]] builds a service state.
+    @raise Invalid_argument on duplicate names. *)
+val of_pairs : (string * (Database.t * Cq.t)) list -> t
+
+(** [load_files [(name, path); ...]] parses each file with
+    {!Db_parser.parse_file}. *)
+val load_files : (string * string) list -> t
+
+val entries : t -> entry list
+val find : t -> string -> entry option
+
+(** Memoized: the first call per entry compiles the lineage and solves
+    for every fact (under a per-entry mutex — concurrent callers
+    block, then share); later calls are lookups. *)
+val shapley_all : t -> entry -> (int * Rat.t) list * Dichotomy.solver
+
+val routes : t -> Router.route list
+
+(** {1 Cursors} — opaque tokens ordered lexicographically like the
+    fact ids they encode. *)
+
+val cursor_of_fact : int -> string
+val fact_of_cursor : string -> int option
+
+(** Page size bounds: [default_limit] when the request gives none,
+    [max_limit] as the clamp. *)
+val default_limit : int
+
+val max_limit : int

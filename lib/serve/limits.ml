@@ -1,0 +1,29 @@
+type t = {
+  max_header_bytes : int;
+  max_body_bytes : int;
+  read_timeout : float;
+  max_conn_requests : int;
+}
+
+let default =
+  { max_header_bytes = 8192;
+    max_body_bytes = 1_048_576;
+    read_timeout = 10.;
+    max_conn_requests = 100 }
+
+let from_env ?(getenv = Sys.getenv_opt) t =
+  let int_env name current =
+    match Option.bind (getenv name) int_of_string_opt with
+    | Some v when v > 0 -> v
+    | _ -> current
+  in
+  let float_env name current =
+    match Option.bind (getenv name) float_of_string_opt with
+    | Some v when v > 0. -> v
+    | _ -> current
+  in
+  { max_header_bytes = int_env "SHAPMC_MAX_HEADER_BYTES" t.max_header_bytes;
+    max_body_bytes = int_env "SHAPMC_MAX_BODY_BYTES" t.max_body_bytes;
+    read_timeout = float_env "SHAPMC_READ_TIMEOUT" t.read_timeout;
+    max_conn_requests =
+      int_env "SHAPMC_MAX_CONN_REQUESTS" t.max_conn_requests }

@@ -1,0 +1,54 @@
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+type route = {
+  meth : Http.meth;
+  path : string;
+  handler : Http.request -> response;
+}
+
+let route meth path handler = { meth; path; handler }
+
+(* Json_codec depends on this module for [response], so the error
+   bodies here are assembled directly on Tiny_json. *)
+let error_body status message =
+  Tiny_json.to_string
+    (Tiny_json.Obj
+       [ ("error",
+          Tiny_json.Obj
+            [ ("code", Tiny_json.Int status);
+              ("message", Tiny_json.Str message) ]) ])
+  ^ "\n"
+
+let error_response ?(headers = []) status message =
+  { status;
+    headers = ("Content-Type", "application/json") :: headers;
+    body = error_body status message }
+
+let dispatch routes (req : Http.request) =
+  let path = req.Http.path in
+  match List.filter (fun r -> r.path = path) routes with
+  | [] -> ("unmatched", error_response 404 ("no such resource: " ^ path))
+  | candidates -> (
+      match List.find_opt (fun r -> r.meth = req.Http.meth) candidates with
+      | None ->
+        let allow =
+          String.concat ", "
+            (List.map (fun r -> Http.meth_to_string r.meth) candidates)
+        in
+        ( "unmatched",
+          error_response
+            ~headers:[ ("Allow", allow) ]
+            405
+            (Printf.sprintf "method %s not allowed on %s (allow: %s)"
+               (Http.meth_to_string req.Http.meth)
+               path allow) )
+      | Some r -> (
+          try (r.path, r.handler req)
+          with e ->
+            Printf.eprintf "shapmc serve: handler %s raised: %s\n%!" path
+              (Printexc.to_string e);
+            (r.path, error_response 500 "internal server error")))

@@ -1,0 +1,24 @@
+(** Method + exact-path routing with uniform 404/405/500 handling. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+type route = {
+  meth : Http.meth;
+  path : string;
+  handler : Http.request -> response;
+}
+
+val route : Http.meth -> string -> (Http.request -> response) -> route
+
+(** [dispatch routes req] finds the route with [req]'s path and method
+    and runs its handler.  Returns the response paired with the route
+    label used for metrics: the route's path, or ["unmatched"] for
+    404/405.  An unknown path answers 404, a known path with the wrong
+    method 405 (with an [Allow] header), and a handler exception 500 —
+    the exception never escapes (its message goes to stderr, not to the
+    client). *)
+val dispatch : route list -> Http.request -> string * response

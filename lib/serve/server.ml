@@ -1,0 +1,250 @@
+type config = {
+  host : string;
+  port : int;
+  jobs : int;
+  limits : Limits.t;
+  drain_deadline : float;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 8080;
+    jobs = 1;
+    limits = Limits.default;
+    drain_deadline = 5. }
+
+type t = {
+  config : config;
+  routes : Router.route list;
+  stop_flag : bool Atomic.t;
+  served : int Atomic.t;
+  in_flight : int Atomic.t;
+  mutable lsock : Unix.file_descr option;
+  mutable bound_port : int;
+  mutable exec : Pool.Exec.t option;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_lock : Mutex.t;
+}
+
+let create ?(config = default_config) routes =
+  { config;
+    routes;
+    stop_flag = Atomic.make false;
+    served = Atomic.make 0;
+    in_flight = Atomic.make 0;
+    lsock = None;
+    bound_port = 0;
+    exec = None;
+    conns = Hashtbl.create 16;
+    conns_lock = Mutex.create () }
+
+let port t = t.bound_port
+
+let requests_served t = Atomic.get t.served
+
+let register_conn t fd =
+  Mutex.lock t.conns_lock;
+  Hashtbl.replace t.conns fd ();
+  Mutex.unlock t.conns_lock
+
+let unregister_conn t fd =
+  Mutex.lock t.conns_lock;
+  Hashtbl.remove t.conns fd;
+  Mutex.unlock t.conns_lock;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let start t =
+  let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (* SO_REUSEADDR: an immediately restarted server must rebind the port
+     its killed predecessor left in TIME_WAIT. *)
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind sock
+       (Unix.ADDR_INET (Unix.inet_addr_of_string t.config.host, t.config.port))
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 128;
+  t.bound_port <-
+    (match Unix.getsockname sock with
+     | Unix.ADDR_INET (_, p) -> p
+     | _ -> t.config.port);
+  t.lsock <- Some sock;
+  t.exec <- Some (Pool.Exec.create ~jobs:t.config.jobs)
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | 0 -> ()
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+let observe_request ~route ~status ~seconds =
+  let labels =
+    [ ("route", route); ("code", string_of_int status) ]
+  in
+  Metrics.inc ~labels "http_requests";
+  Metrics.observe ~labels "http_request_seconds" seconds
+
+let set_in_flight t delta =
+  let v = Atomic.fetch_and_add t.in_flight delta + delta in
+  Metrics.set "http_in_flight" (float_of_int v)
+
+let send t fd ~route ~keep_alive ~t0 (resp : Router.response) =
+  write_all fd
+    (Http.render_response ~headers:resp.Router.headers ~keep_alive
+       ~status:resp.Router.status ~body:resp.Router.body ());
+  observe_request ~route ~status:resp.Router.status
+    ~seconds:(Float.max 0. (Unix.gettimeofday () -. t0));
+  Atomic.incr t.served
+
+(* One full keep-alive connection: parse, dispatch, answer, repeat. *)
+let handle_connection t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.limits.Limits.read_timeout;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.limits.Limits.read_timeout
+   with Unix.Unix_error _ -> ());
+  let buf = Bytes.create 8192 in
+  let rec serve parser_ nreq =
+    let rec fill () =
+      match Http.poll parser_ with
+      | (Http.Request _ | Http.Reject _) as o -> `Outcome o
+      | Http.Incomplete -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 ->
+            Http.eof parser_;
+            `Outcome (Http.poll parser_)
+          | k ->
+            Http.feed parser_ (Bytes.sub_string buf 0 k);
+            fill ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) ->
+            `Timeout
+          | exception Unix.Unix_error _ -> `Hangup)
+    in
+    match fill () with
+    | `Hangup -> ()
+    | `Timeout ->
+      (* Mid-request silence is an error; idle between requests is a
+         normal keep-alive close. *)
+      if Http.bytes_fed parser_ > 0 then begin
+        let t0 = Unix.gettimeofday () in
+        send t fd ~route:"invalid" ~keep_alive:false ~t0
+          (Json_codec.error 408 "request read timed out")
+      end
+    | `Outcome Http.Incomplete -> assert false (* poll after eof is terminal *)
+    | `Outcome (Http.Reject (status, msg)) ->
+      (* A clean EOF before any byte of a next request is just the
+         client hanging up. *)
+      if Http.bytes_fed parser_ > 0 then begin
+        let t0 = Unix.gettimeofday () in
+        send t fd ~route:"invalid" ~keep_alive:false ~t0
+          (Json_codec.error status msg);
+        (* Lingering close: a 413 client may still be mid-upload.
+           Closing now would send RST and discard our buffered
+           response, so drain the declared remainder (bounded, under
+           the same SO_RCVTIMEO) before the caller closes the fd. *)
+        let rec drain remaining =
+          if remaining > 0 then
+            match Unix.read fd buf 0 (min remaining (Bytes.length buf)) with
+            | 0 -> ()
+            | k -> drain (remaining - k)
+            | exception Unix.Unix_error _ -> ()
+        in
+        drain (Http.drain_hint parser_)
+      end
+    | `Outcome (Http.Request req) ->
+      let t0 = Unix.gettimeofday () in
+      set_in_flight t 1;
+      let route, resp =
+        Fun.protect
+          ~finally:(fun () -> set_in_flight t (-1))
+          (fun () -> Router.dispatch t.routes req)
+      in
+      let keep_alive =
+        Http.wants_keep_alive req
+        && nreq + 1 < t.config.limits.Limits.max_conn_requests
+        && not (Atomic.get t.stop_flag)
+      in
+      send t fd ~route ~keep_alive ~t0 resp;
+      if keep_alive then begin
+        let next = Http.create ~limits:t.config.limits in
+        Http.feed next (Http.leftover parser_);
+        serve next (nreq + 1)
+      end
+  in
+  serve (Http.create ~limits:t.config.limits) 0
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and shutdown                                            *)
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    match t.lsock with
+    | None -> ()
+    | Some sock ->
+      (* [shutdown] (not [close]) wakes a concurrently blocked
+         [accept]; the fallback self-connect covers platforms where it
+         does not. *)
+      (try Unix.shutdown sock Unix.SHUTDOWN_RECEIVE
+       with Unix.Unix_error _ -> ());
+      (try
+         let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+         Fun.protect
+           ~finally:(fun () ->
+             try Unix.close fd with Unix.Unix_error _ -> ())
+           (fun () ->
+             Unix.connect fd
+               (Unix.ADDR_INET
+                  (Unix.inet_addr_of_string t.config.host, t.bound_port)))
+       with Unix.Unix_error _ -> ())
+
+let run t =
+  let sock =
+    match t.lsock with
+    | Some s -> s
+    | None -> invalid_arg "Server.run: call start first"
+  in
+  let exec = Option.get t.exec in
+  while not (Atomic.get t.stop_flag) do
+    match Unix.accept ~cloexec:true sock with
+    | fd, _ ->
+      register_conn t fd;
+      let task () =
+        Fun.protect
+          ~finally:(fun () -> unregister_conn t fd)
+          (fun () -> handle_connection t fd)
+      in
+      if not (Pool.Exec.submit exec task) then unregister_conn t fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      () (* signal delivered; the loop re-checks the stop flag *)
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+      Atomic.set t.stop_flag true
+    | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  t.lsock <- None;
+  (* Drain: finish in-flight connections, then force-close stragglers
+     so their workers unblock, and reap the executor. *)
+  if not (Pool.Exec.shutdown ~deadline:t.config.drain_deadline exec) then begin
+    Mutex.lock t.conns_lock;
+    let remaining = Hashtbl.fold (fun fd () acc -> fd :: acc) t.conns [] in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      remaining;
+    ignore (Pool.Exec.shutdown ~deadline:1.0 exec)
+  end;
+  t.exec <- None

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# CLI-level checks for `shapmc serve`: startup, the JSON API over a real
+# socket, request limits, OpenMetrics, graceful SIGTERM shutdown with
+# exit 0, and immediate port reuse after the kill.
+# Invoked by the dune rule in test/dune as:
+#   bash cli_serve_test.sh SHAPMC_EXE SERVE_PROBE_EXE
+set -euo pipefail
+
+exe="$1"
+probe="$2"
+# dune hands over build-relative paths; bare names need ./ to exec
+case "$exe" in */*) ;; *) exe="./$exe" ;; esac
+case "$probe" in */*) ;; *) probe="./$probe" ;; esac
+fail() { echo "cli-serve FAILED: $1" >&2; exit 1; }
+
+cat > serve_demo.db <<'EOF'
+# Example 13: Q = R1(x), R2(x), all four tuples endogenous.
+rel R1 endo 1
+row R1 1
+row R1 2
+rel R2 endo 1
+row R2 1
+row R2 2
+query R1(x), R2(x)
+EOF
+
+"$exe" serve --port 0 --read-timeout 5 serve_demo.db > serve.log 2>&1 &
+srv=$!
+trap 'kill -9 $srv 2>/dev/null || true' EXIT
+
+# Wait for the startup line and extract the ephemeral port.
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/.*listening on http:\/\/127\.0\.0\.1:\([0-9]*\).*/\1/p' serve.log | head -1)
+  [ -n "$port" ] && break
+  sleep 0.05
+done
+[ -n "$port" ] || fail "server did not announce a port: $(cat serve.log)"
+
+# healthz
+out=$("$probe" 127.0.0.1 "$port" GET /healthz)
+grep -q "HTTP/1.1 200" <<<"$out" || fail "healthz not 200: $out"
+grep -q '"status":"ok"' <<<"$out" || fail "healthz body wrong: $out"
+
+# the query catalog carries the loaded file under its basename
+out=$("$probe" 127.0.0.1 "$port" GET /v1/queries)
+grep -q '"name":"serve_demo"' <<<"$out" || fail "queries body wrong: $out"
+grep -q '"classification":"hierarchical"' <<<"$out" || fail "classification missing: $out"
+
+# exact Shapley value of fact 1 (Example 13: 1/4)
+out=$("$probe" 127.0.0.1 "$port" POST /v1/shapley '{"query":"serve_demo","fact":1}')
+grep -q "HTTP/1.1 200" <<<"$out" || fail "shapley not 200: $out"
+grep -q '"num":"1","den":"4"' <<<"$out" || fail "shapley value wrong: $out"
+
+# ...and it agrees with the batch CLI on the same database
+batch=$("$exe" lineage serve_demo.db)
+grep -q "1/4" <<<"$batch" || fail "batch CLI disagrees: $batch"
+
+# unknown routes / facts
+out=$("$probe" 127.0.0.1 "$port" GET /nope)
+grep -q "HTTP/1.1 404" <<<"$out" || fail "missing 404: $out"
+out=$("$probe" 127.0.0.1 "$port" POST /v1/shapley '{"query":"serve_demo","fact":99}')
+grep -q "HTTP/1.1 404" <<<"$out" || fail "unknown fact not 404: $out"
+out=$("$probe" 127.0.0.1 "$port" POST /healthz)
+grep -q "HTTP/1.1 405" <<<"$out" || fail "healthz POST not 405: $out"
+out=$("$probe" 127.0.0.1 "$port" POST /v1/shapley 'not json')
+grep -q "HTTP/1.1 400" <<<"$out" || fail "malformed body not 400: $out"
+
+# body limit: a >1 MiB declared body answers 413 (body shipped via
+# file — argv cannot carry it)
+head -c 1048577 /dev/zero | tr '\0' 'x' > bigbody.txt
+out=$("$probe" 127.0.0.1 "$port" POST /v1/shapley @bigbody.txt)
+grep -q "HTTP/1.1 413" <<<"$out" || fail "oversized body not 413: $out"
+
+# metrics: OpenMetrics exposition with the http series
+out=$("$probe" 127.0.0.1 "$port" GET /metrics)
+grep -q "shapmc_http_requests_total" <<<"$out" || fail "http_requests missing from /metrics: $out"
+grep -q "# EOF" <<<"$out" || fail "OpenMetrics terminator missing"
+
+# graceful shutdown: SIGTERM drains and exits 0
+kill -TERM $srv
+if ! wait $srv; then fail "server exited nonzero on SIGTERM"; fi
+grep -q "shut down cleanly" serve.log || fail "no clean-shutdown line: $(cat serve.log)"
+
+# the port is released: an immediate restart on the SAME port binds
+"$exe" serve --port "$port" serve_demo.db > serve2.log 2>&1 &
+srv=$!
+ok=""
+for _ in $(seq 1 100); do
+  grep -q "listening on" serve2.log && { ok=1; break; }
+  grep -qi "error" serve2.log && break
+  sleep 0.05
+done
+[ -n "$ok" ] || fail "restart on port $port failed (EADDRINUSE?): $(cat serve2.log)"
+out=$("$probe" 127.0.0.1 "$port" GET /healthz)
+grep -q "HTTP/1.1 200" <<<"$out" || fail "restarted server not healthy: $out"
+kill -TERM $srv
+wait $srv || fail "restarted server exited nonzero"
+
+echo "cli-serve OK"

@@ -1,0 +1,75 @@
+(* Tiny standalone HTTP client for the shell-level server test — no
+   curl dependency on CI.  One request per run, [Connection: close]:
+
+     serve_probe HOST PORT METHOD PATH [BODY]
+
+   A BODY of [@FILE] sends FILE's contents (argv cannot carry the
+   megabyte-scale bodies the limit tests need).  Prints the raw
+   response (status line, headers, body) to stdout.  Exit 0 on any HTTP
+   response (the script asserts on the text), 1 when the connection
+   fails. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: host :: port :: meth :: path :: rest ->
+    let body = String.concat " " rest in
+    let body =
+      if String.length body > 0 && body.[0] = '@' then
+        read_file (String.sub body 1 (String.length body - 1))
+      else body
+    in
+    let port =
+      match int_of_string_opt port with
+      | Some p -> p
+      | None ->
+        prerr_endline ("serve_probe: bad port " ^ port);
+        exit 2
+    in
+    (try
+       (* A server enforcing its body limit may respond and close while
+          we are still writing — don't die on the broken pipe, read the
+          response it already sent. *)
+       (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+        with Invalid_argument _ -> ());
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+       Unix.connect fd
+         (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+       let request =
+         Printf.sprintf
+           "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Length: %d\r\n\
+            Connection: close\r\n\r\n%s"
+           meth path host port (String.length body) body
+       in
+       let b = Bytes.of_string request in
+       let rec send off =
+         if off < Bytes.length b then
+           send (off + Unix.write fd b off (Bytes.length b - off))
+       in
+       (try send 0
+        with
+        | Unix.Unix_error
+            ((Unix.EPIPE | Unix.ECONNRESET | Unix.ESHUTDOWN), _, _)
+        -> ());
+       let buf = Bytes.create 8192 in
+       let rec recv () =
+         match Unix.read fd buf 0 (Bytes.length buf) with
+         | 0 -> ()
+         | k ->
+           print_string (Bytes.sub_string buf 0 k);
+           recv ()
+       in
+       recv ();
+       Unix.close fd
+     with Unix.Unix_error (e, _, _) ->
+       prerr_endline ("serve_probe: " ^ Unix.error_message e);
+       exit 1)
+  | _ ->
+    prerr_endline "usage: serve_probe HOST PORT METHOD PATH [BODY]";
+    exit 2

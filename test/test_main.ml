@@ -21,4 +21,5 @@ let () =
       ("metrics", Test_metrics.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
-      ("differential", Test_differential.suite) ]
+      ("differential", Test_differential.suite);
+      ("serve", Test_serve.suite) ]

@@ -1,0 +1,1190 @@
+(** Black-box tests for the [shapmc serve] stack.
+
+    - [Http]: the incremental parser as a pure function of the byte
+      stream — split-invariance fuzzing over valid/corrupted requests
+      cut at random boundaries, never-raises, terminal outcome after
+      eof, and exact limit boundaries (header cap → 400, declared body
+      over cap → 413 before any body byte).
+    - [Tiny_json]: [parse (to_string v) = v] round-trip over random
+      documents including control characters and non-ASCII bytes.
+    - [Router]/[Api]: routing (404/405 + Allow/500), the JSON API
+      handlers, cursor pagination (random page sizes enumerate every
+      fact exactly once; golden empty-query and last-page cases), and
+      the bit-identical check against {!Dichotomy.shapley}.
+    - [Server]: a real socket server on an ephemeral port driven by a
+      tiny in-file HTTP client — keep-alive, limit enforcement on the
+      wire, concurrent clients at jobs∈{1,4} getting identical exact
+      answers, [/metrics] round-tripped through the OpenMetrics parser,
+      and port release after shutdown.
+    - [Pool.Exec]: the persistent executor underneath it all. *)
+
+open Helpers
+module Http = Shapmc_serve.Http
+module Router = Shapmc_serve.Router
+module Limits = Shapmc_serve.Limits
+module Json_codec = Shapmc_serve.Json_codec
+module Api = Shapmc_serve.Api
+module Server = Shapmc_serve.Server
+module J = Tiny_json
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+
+let demo_query () = Db_parser.parse_query "R1(x), R2(x)"
+
+(* Example 13: four endogenous facts, every Shapley value 1/4. *)
+let demo_api () = Api.of_pairs [ ("demo", (example13_db (), demo_query ())) ]
+
+(* [n] endogenous facts in one unary relation — pagination fodder. *)
+let page_db n =
+  let db = Database.create () in
+  Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+  for i = 1 to n do
+    ignore (Database.insert db "R" [| Value.int i |])
+  done;
+  db
+
+let page_api n =
+  Api.of_pairs [ ("page", (page_db n, Db_parser.parse_query "R(x)")) ]
+
+(* All facts exogenous: the query is loaded but has zero players. *)
+let empty_api () =
+  let db = Database.create () in
+  Database.declare db "S" ~kind:Database.Exogenous ~arity:1;
+  ignore (Database.insert db "S" [| Value.int 1 |]);
+  ignore (Database.insert db "S" [| Value.int 2 |]);
+  Api.of_pairs [ ("empty", (db, Db_parser.parse_query "S(x)")) ]
+
+(* ------------------------------------------------------------------ *)
+(* Direct-dispatch helpers (no socket): build a request through the
+   real parser, run it through the real router.                        *)
+
+let req_of_string ?(limits = Limits.default) s =
+  let p = Http.create ~limits in
+  Http.feed p s;
+  Http.eof p;
+  match Http.poll p with
+  | Http.Request r -> r
+  | Http.Reject (c, m) -> Alcotest.failf "unexpected reject %d: %s" c m
+  | Http.Incomplete -> Alcotest.fail "unexpected incomplete"
+
+let get routes path =
+  snd
+    (Router.dispatch routes
+       (req_of_string (Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" path)))
+
+let post routes path body =
+  snd
+    (Router.dispatch routes
+       (req_of_string
+          (Printf.sprintf "POST %s HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+             path (String.length body) body)))
+
+let status (r : Router.response) = r.Router.status
+
+let json_of (r : Router.response) = J.parse r.Router.body
+
+let member_exn name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "missing field %s in %s" name (J.to_string j)
+
+let str_exn j = Option.get (J.to_str j)
+let int_exn j = Option.get (J.to_int j)
+let list_exn j = Option.get (J.to_list j)
+
+(* (fact id, num, den) triples of a shapley/all response page. *)
+let triples_of_values j =
+  List.map
+    (fun v ->
+      let sh = member_exn "shapley" v in
+      ( int_exn (member_exn "fact" v),
+        str_exn (member_exn "num" sh),
+        str_exn (member_exn "den" sh) ))
+    (list_exn (member_exn "values" j))
+
+(* The reference answer, straight off the solver entry point the batch
+   CLI uses — decimal strings, so the comparison is bit-identical. *)
+let reference_triples db q =
+  let values, _ = Dichotomy.shapley db q in
+  List.sort compare
+    (List.map
+       (fun (id, v) ->
+         (id, Bigint.to_string (Rat.num v), Bigint.to_string (Rat.den v)))
+       values)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP parser: units                                                  *)
+
+let parse_stream ?(limits = Limits.default) chunks =
+  let p = Http.create ~limits in
+  List.iter (Http.feed p) chunks;
+  Http.eof p;
+  (p, Http.poll p)
+
+let expect_request chunks =
+  match parse_stream chunks with
+  | _, Http.Request r -> r
+  | _, Http.Reject (c, m) -> Alcotest.failf "reject %d: %s" c m
+  | _, Http.Incomplete -> Alcotest.fail "incomplete after eof"
+
+let expect_reject ?limits chunks =
+  match parse_stream ?limits chunks with
+  | _, Http.Reject (c, _) -> c
+  | _, Http.Request r ->
+    Alcotest.failf "parsed %s %s" (Http.meth_to_string r.Http.meth)
+      r.Http.target
+  | _, Http.Incomplete -> Alcotest.fail "incomplete after eof"
+
+let http_basic () =
+  let r =
+    expect_request
+      [ "POST /v1/facts?query=a%20b&x=1+2 HTTP/1.1\r\n";
+        "Host: localhost\r\nContent-Length: 5\r\n\r\nhello" ]
+  in
+  Alcotest.(check string) "method" "POST" (Http.meth_to_string r.Http.meth);
+  Alcotest.(check string) "path" "/v1/facts" r.Http.path;
+  Alcotest.(check (list (pair string string)))
+    "query decoded"
+    [ ("query", "a b"); ("x", "1 2") ]
+    r.Http.query;
+  Alcotest.(check string) "body" "hello" r.Http.body;
+  Alcotest.(check (option string))
+    "header lowercased" (Some "localhost") (Http.header r "host");
+  Alcotest.(check bool) "keep-alive default" true (Http.wants_keep_alive r)
+
+let http_byte_at_a_time () =
+  let s = "GET /healthz HTTP/1.1\r\nx: y\r\n\r\n" in
+  let whole = expect_request [ s ] in
+  let bytes = List.init (String.length s) (fun i -> String.make 1 s.[i]) in
+  let one = expect_request bytes in
+  Alcotest.(check bool) "byte-at-a-time = whole" true (whole = one)
+
+let http_bare_lf () =
+  let r = expect_request [ "GET / HTTP/1.1\nHost: h\n\n" ] in
+  Alcotest.(check string) "path" "/" r.Http.path;
+  Alcotest.(check (option string)) "header" (Some "h") (Http.header r "host")
+
+let http_rejects () =
+  let reject400 s =
+    Alcotest.(check int) ("400 for " ^ String.escaped s) 400
+      (expect_reject [ s ])
+  in
+  reject400 "NOT A REQUEST\r\n\r\n";
+  reject400 "GET / HTTP/2.0\r\n\r\n";
+  reject400 "GET noslash HTTP/1.1\r\n\r\n";
+  reject400 "GET / HTTP/1.1\r\nno colon here\r\n\r\n";
+  reject400 "GET / HTTP/1.1\r\ncontent-length: two\r\n\r\n";
+  reject400 "GET / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n";
+  reject400 "GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+  (* truncated: eof strikes mid-headers and mid-body *)
+  reject400 "GET / HTTP/1.1\r\nHost";
+  reject400 "GET / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+  (* 0 bytes fed: still a 400 from [eof], but [bytes_fed] lets the
+     server close silently *)
+  let p, o = parse_stream [] in
+  Alcotest.(check int) "bytes_fed empty" 0 (Http.bytes_fed p);
+  (match o with
+   | Http.Reject (400, _) -> ()
+   | _ -> Alcotest.fail "empty stream should 400")
+
+let header_request pad = Printf.sprintf "GET / HTTP/1.1\r\nx-pad: %s\r\n\r\n" pad
+
+let http_header_cap_boundary () =
+  let cap = 256 in
+  let limits = { Limits.default with Limits.max_header_bytes = cap } in
+  let pad_for len = String.make (len - String.length (header_request "")) 'a' in
+  (* exactly at the cap: parses *)
+  (match parse_stream ~limits [ header_request (pad_for cap) ] with
+   | _, Http.Request _ -> ()
+   | _, _ -> Alcotest.fail "header section of exactly max bytes must parse");
+  (* one past: 400 *)
+  Alcotest.(check int) "cap+1 rejects" 400
+    (expect_reject ~limits [ header_request (pad_for (cap + 1)) ]);
+  (* ...and the reject fires as soon as the cap is crossed, before any
+     terminator arrives *)
+  let p = Http.create ~limits in
+  Http.feed p ("GET / HTTP/1.1\r\nx-pad: " ^ String.make (2 * cap) 'a');
+  (match Http.poll p with
+   | Http.Reject (400, _) -> ()
+   | _ -> Alcotest.fail "oversized headers must reject without terminator")
+
+let http_body_cap_boundary () =
+  let cap = 64 in
+  let limits = { Limits.default with Limits.max_body_bytes = cap } in
+  let post_cl n body =
+    Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" n body
+  in
+  (match parse_stream ~limits [ post_cl cap (String.make cap 'x') ] with
+   | _, Http.Request r ->
+     Alcotest.(check int) "body of exactly max bytes" cap
+       (String.length r.Http.body)
+   | _, _ -> Alcotest.fail "body of exactly max bytes must parse");
+  Alcotest.(check int) "declared cap+1 rejects 413" 413
+    (expect_reject ~limits [ post_cl (cap + 1) "" ]);
+  (* the 413 fires off the declaration alone — no body byte fed yet *)
+  let p = Http.create ~limits in
+  Http.feed p (Printf.sprintf "POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n" (cap + 1));
+  (match Http.poll p with
+   | Http.Reject (413, _) -> ()
+   | _ -> Alcotest.fail "413 must fire before the body arrives")
+
+let http_pipelining_leftover () =
+  let first = "GET /a HTTP/1.1\r\n\r\n" in
+  let second = "GET /b HTTP/1.1\r\n\r\n" in
+  let p = Http.create ~limits:Limits.default in
+  Http.feed p (first ^ second);
+  (match Http.poll p with
+   | Http.Request r -> Alcotest.(check string) "first path" "/a" r.Http.path
+   | _ -> Alcotest.fail "first request should parse");
+  Alcotest.(check string) "second request is leftover" second (Http.leftover p);
+  let p2 = Http.create ~limits:Limits.default in
+  Http.feed p2 (Http.leftover p);
+  (match Http.poll p2 with
+   | Http.Request r -> Alcotest.(check string) "second path" "/b" r.Http.path
+   | _ -> Alcotest.fail "leftover should parse as the next request")
+
+let http_render_response () =
+  let s =
+    Http.render_response
+      ~headers:[ ("Content-Type", "application/json") ]
+      ~keep_alive:true ~status:200 ~body:"{}" ()
+  in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and m = String.length s in
+        let rec go i =
+          i + n <= m && (String.sub s i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("response contains " ^ needle) true found)
+    [ "HTTP/1.1 200 OK\r\n";
+      "Content-Length: 2\r\n";
+      "Connection: keep-alive\r\n";
+      "Content-Type: application/json\r\n";
+      "\r\n\r\n{}" ]
+
+(* ------------------------------------------------------------------ *)
+(* HTTP parser: split-invariance fuzz                                  *)
+
+let gen_valid_request =
+  let open QCheck.Gen in
+  let* meth = oneofl [ "GET"; "POST"; "HEAD"; "DELETE" ] in
+  let* path =
+    oneofl
+      [ "/"; "/healthz"; "/v1/facts?query=demo&limit=3"; "/a%20b?x=1+2";
+        "/metrics" ]
+  in
+  let* hdrs =
+    list_size (int_range 0 3)
+      (pair (oneofl [ "x-a"; "x-b"; "accept" ]) (oneofl [ "1"; "foo bar"; "z" ]))
+  in
+  let* version = oneofl [ "HTTP/1.1"; "HTTP/1.0" ] in
+  let* body = oneofl [ ""; "hi"; "{\"query\":\"demo\"}"; String.make 33 'b' ] in
+  let lines =
+    ((meth ^ " " ^ path ^ " " ^ version)
+     :: List.map (fun (k, v) -> k ^ ": " ^ v) hdrs)
+    @
+    if body = "" then []
+    else [ Printf.sprintf "content-length: %d" (String.length body) ]
+  in
+  return (String.concat "\r\n" lines ^ "\r\n\r\n" ^ body)
+
+(* Corruptions of a valid request: truncation, garbage, joined words,
+   pipelined trailers — everything the parser must classify, not
+   crash on. *)
+let gen_corrupted =
+  let open QCheck.Gen in
+  let* s = gen_valid_request in
+  let* f =
+    oneofl
+      [ (fun s -> "\r\n" ^ s);
+        (fun s -> String.map (fun c -> if c = '/' then ' ' else c) s);
+        (fun s -> String.sub s 0 (String.length s / 2));
+        (fun s -> s ^ "trailing garbage after the request");
+        (fun s -> "FOO BAR BAZ QUX\r\n\r\n" ^ s);
+        (fun s -> String.concat "" (String.split_on_char 'T' s));
+        (fun s -> String.map (fun c -> if c = ':' then ';' else c) s) ]
+  in
+  return (f s)
+
+let gen_random_bytes =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 120))
+
+let gen_stream =
+  QCheck.Gen.frequency
+    [ (4, gen_valid_request); (3, gen_corrupted); (2, gen_random_bytes) ]
+
+let arb_chunked_stream =
+  let open QCheck.Gen in
+  let gen =
+    let* s = gen_stream in
+    let* cuts = list_size (int_range 0 5) (int_range 0 (String.length s)) in
+    return (s, cuts)
+  in
+  QCheck.make
+    ~print:(fun (s, cuts) ->
+      Printf.sprintf "%S cut at %s" s
+        (String.concat "," (List.map string_of_int cuts)))
+    gen
+
+let chunks_of s cuts =
+  let cuts =
+    List.sort_uniq compare
+      (List.filter (fun i -> i > 0 && i < String.length s) cuts)
+  in
+  if s = "" then []
+  else
+    let rec go start = function
+      | [] -> [ String.sub s start (String.length s - start) ]
+      | c :: rest -> String.sub s start (c - start) :: go c rest
+    in
+    go 0 cuts
+
+let fuzz_split_invariance =
+  qtest ~count:300 "fuzz: outcome is split-invariant, terminal, 4xx-or-request"
+    arb_chunked_stream (fun (s, cuts) ->
+      let outcome chunks =
+        try snd (parse_stream chunks)
+        with e ->
+          QCheck.Test.fail_reportf "parser raised %s on %S"
+            (Printexc.to_string e) s
+      in
+      let whole = outcome [ s ] in
+      let split = outcome (chunks_of s cuts) in
+      if whole <> split then
+        QCheck.Test.fail_reportf "split changed the outcome on %S" s;
+      match whole with
+      | Http.Incomplete ->
+        QCheck.Test.fail_reportf "non-terminal outcome after eof on %S" s
+      | Http.Request _ -> true
+      | Http.Reject (c, _) ->
+        if c >= 400 && c < 500 then true
+        else QCheck.Test.fail_reportf "non-4xx reject %d on %S" c s)
+
+let fuzz_header_cap_exact =
+  qtest ~count:200 "fuzz: header cap is exact at every boundary"
+    QCheck.(pair (int_range 40 160) (int_range 0 200))
+    (fun (cap, pad) ->
+      let limits = { Limits.default with Limits.max_header_bytes = cap } in
+      let req = header_request (String.make pad 'a') in
+      match snd (parse_stream ~limits [ req ]) with
+      | Http.Request _ -> String.length req <= cap
+      | Http.Reject (400, _) -> String.length req > cap
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Tiny_json: serializer round-trip                                    *)
+
+let gen_jstring =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 20))
+
+let gen_finite_float =
+  QCheck.Gen.(
+    frequency
+      [ (4, float_range (-1e15) 1e15);
+        (1,
+         oneofl
+           [ 0.; -0.; 1.5; -3.25; 0.1; 1e-9; 1e300; -1e300; 4611686018427387904. ])
+      ])
+
+let gen_json =
+  let open QCheck.Gen in
+  let scalar =
+    frequency
+      [ (1, return J.Null);
+        (2, map (fun b -> J.Bool b) bool);
+        (3, map (fun i -> J.Int i) gen_small_int);
+        (3, map (fun f -> J.Float f) gen_finite_float);
+        (4, map (fun s -> J.Str s) gen_jstring) ]
+  in
+  let rec go d =
+    if d = 0 then scalar
+    else
+      frequency
+        [ (3, scalar);
+          (1, map (fun l -> J.List l) (list_size (int_range 0 4) (go (d - 1))));
+          (1,
+           map
+             (fun kvs -> J.Obj kvs)
+             (list_size (int_range 0 4) (pair gen_jstring (go (d - 1))))) ]
+  in
+  go 3
+
+let json_roundtrip =
+  qtest ~count:500 "parse (to_string v) = v (control chars, non-ASCII)"
+    (QCheck.make ~print:J.to_string gen_json)
+    (fun v ->
+      match J.parse_opt (J.to_string v) with
+      | Some v' when v' = v -> true
+      | Some v' ->
+        QCheck.Test.fail_reportf "round-trip drift: %s -> %s" (J.to_string v)
+          (J.to_string v')
+      | None ->
+        QCheck.Test.fail_reportf "serializer emitted unparseable %s"
+          (J.to_string v))
+
+let json_escaping_goldens () =
+  Alcotest.(check string) "named + unicode escapes"
+    {|"a\"b\\c\nd\u0001"|}
+    (J.to_string (J.Str "a\"b\\c\nd\x01"));
+  Alcotest.(check string) "non-ASCII passes through raw" "\"caf\xc3\xa9\""
+    (J.to_string (J.Str "caf\xc3\xa9"));
+  Alcotest.(check string) "integral float keeps its point" "1.0"
+    (J.to_string (J.Float 1.));
+  Alcotest.(check string) "non-finite floats print null" "[null,null,null]"
+    (J.to_string (J.List [ J.Float infinity; J.Float neg_infinity; J.Float nan ]));
+  Alcotest.(check string) "escaped object key" {|{"\t":1}|}
+    (J.to_string (J.Obj [ ("\t", J.Int 1) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+
+let router_fixture () =
+  [ Router.route Http.GET "/ok" (fun _ ->
+        { Router.status = 200; headers = []; body = "ok" });
+    Router.route Http.POST "/ok" (fun _ ->
+        { Router.status = 200; headers = []; body = "posted" });
+    Router.route Http.GET "/boom" (fun _ -> failwith "handler exploded") ]
+
+let router_dispatch () =
+  let routes = router_fixture () in
+  let label, r =
+    Router.dispatch routes (req_of_string "GET /ok HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check string) "label is the path" "/ok" label;
+  Alcotest.(check int) "200" 200 (status r);
+  let label, r =
+    Router.dispatch routes (req_of_string "GET /nope HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check string) "unmatched label" "unmatched" label;
+  Alcotest.(check int) "404" 404 (status r);
+  let _, r =
+    Router.dispatch routes (req_of_string "DELETE /ok HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check int) "405" 405 (status r);
+  let allow =
+    Option.value ~default:"" (List.assoc_opt "Allow" r.Router.headers)
+  in
+  Alcotest.(check bool) "Allow lists GET and POST" true
+    (allow = "GET, POST" || allow = "POST, GET");
+  let _, r =
+    Router.dispatch routes (req_of_string "GET /boom HTTP/1.1\r\n\r\n")
+  in
+  Alcotest.(check int) "handler exception becomes 500" 500 (status r);
+  (* ...and the body is well-formed JSON, not the exception text *)
+  let code = int_exn (member_exn "code" (member_exn "error" (json_of r))) in
+  Alcotest.(check int) "error body code" 500 code
+
+(* ------------------------------------------------------------------ *)
+(* API handlers (direct dispatch)                                      *)
+
+let api_healthz_queries () =
+  let routes = Api.routes (demo_api ()) in
+  let r = get routes "/healthz" in
+  Alcotest.(check int) "healthz 200" 200 (status r);
+  let j = json_of r in
+  Alcotest.(check string) "status ok" "ok" (str_exn (member_exn "status" j));
+  Alcotest.(check int) "one query" 1 (int_exn (member_exn "queries" j));
+  let j = json_of (get routes "/v1/queries") in
+  match list_exn (member_exn "queries" j) with
+  | [ q ] ->
+    Alcotest.(check string) "name" "demo" (str_exn (member_exn "name" q));
+    Alcotest.(check string) "classification" "hierarchical"
+      (str_exn (member_exn "classification" q));
+    Alcotest.(check int) "fact count" 4 (int_exn (member_exn "facts" q))
+  | l -> Alcotest.failf "expected one query, got %d" (List.length l)
+
+let api_facts_errors () =
+  let routes = Api.routes (demo_api ()) in
+  Alcotest.(check int) "missing query param" 400
+    (status (get routes "/v1/facts"));
+  Alcotest.(check int) "unknown query" 404
+    (status (get routes "/v1/facts?query=nope"));
+  Alcotest.(check int) "malformed cursor" 400
+    (status (get routes "/v1/facts?query=demo&cursor=zzz"));
+  Alcotest.(check int) "zero limit" 400
+    (status (get routes "/v1/facts?query=demo&limit=0"));
+  Alcotest.(check int) "malformed limit" 400
+    (status (get routes "/v1/facts?query=demo&limit=ten"));
+  Alcotest.(check int) "limit above max clamps, not errors" 200
+    (status (get routes "/v1/facts?query=demo&limit=999999"))
+
+let api_facts_pages () =
+  let routes = Api.routes (demo_api ()) in
+  let j = json_of (get routes "/v1/facts?query=demo") in
+  Alcotest.(check int) "total" 4 (int_exn (member_exn "total" j));
+  let ids =
+    List.map (fun f -> int_exn (member_exn "id" f))
+      (list_exn (member_exn "facts" j))
+  in
+  Alcotest.(check (list int)) "all facts, ascending" [ 1; 2; 3; 4 ] ids;
+  Alcotest.(check bool) "no next_cursor on full page" true
+    (J.member "next_cursor" j = None);
+  (* limit=3 then follow the cursor *)
+  let j = json_of (get routes "/v1/facts?query=demo&limit=3") in
+  let ids =
+    List.map (fun f -> int_exn (member_exn "id" f))
+      (list_exn (member_exn "facts" j))
+  in
+  Alcotest.(check (list int)) "first page" [ 1; 2; 3 ] ids;
+  let c = str_exn (member_exn "next_cursor" j) in
+  Alcotest.(check string) "cursor encodes the last returned fact"
+    (Api.cursor_of_fact 3) c;
+  let j = json_of (get routes ("/v1/facts?query=demo&cursor=" ^ c)) in
+  let ids =
+    List.map (fun f -> int_exn (member_exn "id" f))
+      (list_exn (member_exn "facts" j))
+  in
+  Alcotest.(check (list int)) "second page" [ 4 ] ids;
+  Alcotest.(check bool) "last page has no cursor" true
+    (J.member "next_cursor" j = None)
+
+let api_golden_last_page_and_empty () =
+  let routes = Api.routes (demo_api ()) in
+  (* cursor pointing at the very last fact: an empty page, no cursor *)
+  let j =
+    json_of
+      (get routes ("/v1/facts?query=demo&cursor=" ^ Api.cursor_of_fact 4))
+  in
+  Alcotest.(check bool) "past-the-end page is empty" true
+    (list_exn (member_exn "facts" j) = []);
+  Alcotest.(check bool) "past-the-end has no cursor" true
+    (J.member "next_cursor" j = None);
+  (* a query whose facts are all exogenous: zero players *)
+  let routes = Api.routes (empty_api ()) in
+  let j = json_of (get routes "/v1/facts?query=empty") in
+  Alcotest.(check int) "empty total" 0 (int_exn (member_exn "total" j));
+  Alcotest.(check bool) "empty facts" true
+    (list_exn (member_exn "facts" j) = []);
+  Alcotest.(check bool) "empty has no cursor" true
+    (J.member "next_cursor" j = None);
+  let r = post routes "/v1/shapley/all" {|{"query":"empty"}|} in
+  Alcotest.(check int) "shapley/all on empty query is 200" 200 (status r);
+  Alcotest.(check bool) "no values" true
+    (list_exn (member_exn "values" (json_of r)) = [])
+
+let api_shapley_bit_identical () =
+  let api = demo_api () in
+  let routes = Api.routes api in
+  let r = post routes "/v1/shapley" {|{"query":"demo","fact":1}|} in
+  Alcotest.(check int) "shapley 200" 200 (status r);
+  let j = json_of r in
+  let sh = member_exn "shapley" j in
+  Alcotest.(check string) "num" "1" (str_exn (member_exn "num" sh));
+  Alcotest.(check string) "den" "4" (str_exn (member_exn "den" sh));
+  Alcotest.(check string) "solver" "safe-plan-circuit"
+    (str_exn (member_exn "solver" j));
+  Alcotest.(check string) "relation" "R1" (str_exn (member_exn "relation" j));
+  (* every fact, against a fresh direct [Dichotomy.shapley] run on an
+     independently built copy of the database *)
+  let served =
+    List.sort compare
+      (triples_of_values
+         (json_of (post routes "/v1/shapley/all" {|{"query":"demo"}|})))
+  in
+  let expected = reference_triples (example13_db ()) (demo_query ()) in
+  Alcotest.(check (list (triple int string string)))
+    "serve == solver, exact strings" expected served
+
+let api_shapley_errors () =
+  let routes = Api.routes (demo_api ()) in
+  Alcotest.(check int) "bad JSON body" 400
+    (status (post routes "/v1/shapley" "not json"));
+  Alcotest.(check int) "missing fact field" 400
+    (status (post routes "/v1/shapley" {|{"query":"demo"}|}));
+  Alcotest.(check int) "unknown query" 404
+    (status (post routes "/v1/shapley" {|{"query":"zzz","fact":1}|}));
+  Alcotest.(check int) "unknown fact" 404
+    (status (post routes "/v1/shapley" {|{"query":"demo","fact":99}|}));
+  Alcotest.(check int) "malformed cursor in shapley/all" 400
+    (status (post routes "/v1/shapley/all" {|{"query":"demo","cursor":"x"}|}));
+  Alcotest.(check int) "wrong field type" 400
+    (status (post routes "/v1/shapley" {|{"query":"demo","fact":"one"}|}))
+
+let cursor_codec () =
+  List.iter
+    (fun id ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "cursor round-trip %d" id)
+        (Some id)
+        (Api.fact_of_cursor (Api.cursor_of_fact id)))
+    [ 0; 1; 42; 999_999_999 ];
+  List.iter
+    (fun s ->
+      Alcotest.(check (option int)) ("bad cursor " ^ s) None
+        (Api.fact_of_cursor s))
+    [ ""; "f"; "f12"; "g000000000001"; "f00000000000x"; "f0000000000001" ];
+  (* token order IS fact order — what makes the cursor resumable *)
+  Alcotest.(check bool) "lexicographic = numeric" true
+    (compare (Api.cursor_of_fact 9) (Api.cursor_of_fact 10) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pagination property: random page sizes enumerate every fact exactly
+   once, and concatenation equals the single-shot answer.              *)
+
+let walk_pages ~fetch ~extract =
+  let rec go cursor acc steps =
+    if steps > 200 then Alcotest.fail "pagination did not terminate"
+    else
+      let j = fetch ~cursor ~steps in
+      let acc = acc @ extract j in
+      match J.member "next_cursor" j with
+      | Some (J.Str c) -> go (Some c) acc (steps + 1)
+      | Some _ -> Alcotest.fail "next_cursor is not a string"
+      | None -> acc
+  in
+  go None [] 0
+
+let facts_pagination_property =
+  let n = 23 in
+  let routes = Api.routes (page_api n) in
+  let single_shot =
+    List.map (fun f -> int_exn (member_exn "id" f))
+      (list_exn
+         (member_exn "facts"
+            (json_of (get routes "/v1/facts?query=page&limit=1000"))))
+  in
+  qtest ~count:30 "facts pagination: random page sizes enumerate exactly once"
+    QCheck.(list_of_size (QCheck.Gen.return 50) (int_range 1 7))
+    (fun limits_seq ->
+      let limit_at i =
+        match List.nth_opt limits_seq i with Some l -> l | None -> 3
+      in
+      let walked =
+        walk_pages
+          ~fetch:(fun ~cursor ~steps ->
+            let path =
+              Printf.sprintf "/v1/facts?query=page&limit=%d%s" (limit_at steps)
+                (match cursor with None -> "" | Some c -> "&cursor=" ^ c)
+            in
+            let r = get routes path in
+            if status r <> 200 then
+              QCheck.Test.fail_reportf "page fetch failed: %d %s" (status r)
+                r.Router.body;
+            json_of r)
+          ~extract:(fun j ->
+            List.map (fun f -> int_exn (member_exn "id" f))
+              (list_exn (member_exn "facts" j)))
+      in
+      if walked <> single_shot then
+        QCheck.Test.fail_reportf "walk [%s] <> single shot [%s]"
+          (String.concat ";" (List.map string_of_int walked))
+          (String.concat ";" (List.map string_of_int single_shot))
+      else true)
+
+let shapley_all_pagination_property =
+  let n = 17 in
+  let api = page_api n in
+  let routes = Api.routes api in
+  let reference = reference_triples (page_db n) (Db_parser.parse_query "R(x)") in
+  qtest ~count:15 "shapley/all pagination: concatenation = solver output"
+    QCheck.(list_of_size (QCheck.Gen.return 40) (int_range 1 5))
+    (fun limits_seq ->
+      let limit_at i =
+        match List.nth_opt limits_seq i with Some l -> l | None -> 2
+      in
+      let walked =
+        walk_pages
+          ~fetch:(fun ~cursor ~steps ->
+            let body =
+              J.to_string
+                (J.Obj
+                   ([ ("query", J.Str "page");
+                      ("limit", J.Int (limit_at steps)) ]
+                   @
+                   match cursor with
+                   | Some c -> [ ("cursor", J.Str c) ]
+                   | None -> []))
+            in
+            let r = post routes "/v1/shapley/all" body in
+            if status r <> 200 then
+              QCheck.Test.fail_reportf "page fetch failed: %d %s" (status r)
+                r.Router.body;
+            json_of r)
+          ~extract:triples_of_values
+      in
+      List.sort compare walked = reference)
+
+(* ------------------------------------------------------------------ *)
+(* A tiny blocking HTTP client for the socket-level tests.             *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; mutable buf : string }
+
+  exception Closed
+
+  let connect port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.;
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    { fd; buf = "" }
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let send_raw c s =
+    let b = Bytes.of_string s in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + Unix.write c.fd b off (Bytes.length b - off))
+    in
+    go 0
+
+  let refill c =
+    let b = Bytes.create 4096 in
+    match Unix.read c.fd b 0 4096 with
+    | 0 -> raise Closed
+    | k -> c.buf <- c.buf ^ Bytes.sub_string b 0 k
+
+  let find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub s i m = sub then Some i
+      else go (i + 1)
+    in
+    go 0
+
+  (* Read one full response: status, lowercased headers, body (sized by
+     Content-Length).  Extra buffered bytes stay for the next call. *)
+  let read_response c =
+    let rec header_end () =
+      match find_sub c.buf "\r\n\r\n" with
+      | Some i -> i
+      | None ->
+        refill c;
+        header_end ()
+    in
+    let he = header_end () in
+    let head = String.sub c.buf 0 he in
+    let lines =
+      String.split_on_char '\n' head
+      |> List.map (fun l ->
+             if l <> "" && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l)
+    in
+    let status_line, header_lines =
+      match lines with
+      | s :: rest -> (s, rest)
+      | [] -> Alcotest.fail "empty response"
+    in
+    let status =
+      match String.split_on_char ' ' status_line with
+      | _ :: code :: _ -> int_of_string code
+      | _ -> Alcotest.failf "bad status line %S" status_line
+    in
+    let headers =
+      List.filter_map
+        (fun l ->
+          match String.index_opt l ':' with
+          | None -> None
+          | Some i ->
+            Some
+              ( String.lowercase_ascii (String.sub l 0 i),
+                String.trim
+                  (String.sub l (i + 1) (String.length l - i - 1)) ))
+        header_lines
+    in
+    let clen =
+      match List.assoc_opt "content-length" headers with
+      | Some v -> int_of_string v
+      | None -> Alcotest.fail "response without Content-Length"
+    in
+    let body_start = he + 4 in
+    while String.length c.buf < body_start + clen do
+      refill c
+    done;
+    let body = String.sub c.buf body_start clen in
+    c.buf <-
+      String.sub c.buf (body_start + clen)
+        (String.length c.buf - body_start - clen);
+    (status, headers, body)
+
+  let request c ?(headers = []) ?(body = "") meth path =
+    let extra =
+      String.concat ""
+        (List.map (fun (k, v) -> k ^ ": " ^ v ^ "\r\n") headers)
+    in
+    send_raw c
+      (Printf.sprintf "%s %s HTTP/1.1\r\ncontent-length: %d\r\n%s\r\n%s" meth
+         path (String.length body) extra body);
+    read_response c
+
+  (* one-shot convenience *)
+  let oneshot port ?headers ?body meth path =
+    let c = connect port in
+    Fun.protect
+      ~finally:(fun () -> close c)
+      (fun () -> request c ?headers ?body meth path)
+end
+
+let with_server ?(jobs = 1) ?(limits = Limits.default) ?(port = 0) routes f =
+  let config =
+    { Server.default_config with
+      Server.port;
+      Server.jobs;
+      Server.limits;
+      Server.drain_deadline = 5. }
+  in
+  let srv = Server.create ~config routes in
+  Server.start srv;
+  let d = Domain.spawn (fun () -> Server.run srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Domain.join d)
+    (fun () -> f srv (Server.port srv))
+
+(* ------------------------------------------------------------------ *)
+(* Socket-level server tests                                           *)
+
+let server_routing_over_socket () =
+  with_server (Api.routes (demo_api ())) (fun srv port ->
+      let st, _, body = Client.oneshot port "GET" "/healthz" in
+      Alcotest.(check int) "healthz" 200 st;
+      Alcotest.(check string) "healthz body" "ok"
+        (str_exn (member_exn "status" (J.parse body)));
+      let st, _, _ = Client.oneshot port "GET" "/nope" in
+      Alcotest.(check int) "404 over the wire" 404 st;
+      let st, hdrs, _ = Client.oneshot port "POST" "/healthz" in
+      Alcotest.(check int) "405 over the wire" 405 st;
+      Alcotest.(check bool) "Allow header present" true
+        (List.mem_assoc "allow" hdrs);
+      let st, _, body =
+        Client.oneshot port "POST" "/v1/shapley"
+          ~body:{|{"query":"demo","fact":1}|}
+      in
+      Alcotest.(check int) "shapley over the wire" 200 st;
+      let sh = member_exn "shapley" (J.parse body) in
+      Alcotest.(check string) "num over the wire" "1"
+        (str_exn (member_exn "num" sh));
+      Alcotest.(check string) "den over the wire" "4"
+        (str_exn (member_exn "den" sh));
+      (* the counter bumps after the response bytes go out — poll
+         briefly rather than racing the worker *)
+      let deadline = Unix.gettimeofday () +. 2. in
+      while
+        Server.requests_served srv < 4 && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      Alcotest.(check bool) "served counter advanced" true
+        (Server.requests_served srv >= 4))
+
+let server_keep_alive_and_conn_cap () =
+  let limits = { Limits.default with Limits.max_conn_requests = 2 } in
+  with_server ~limits (Api.routes (demo_api ())) (fun _ port ->
+      let c = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let st, hdrs, _ = Client.request c "GET" "/healthz" in
+          Alcotest.(check int) "first 200" 200 st;
+          Alcotest.(check (option string)) "first is keep-alive"
+            (Some "keep-alive")
+            (List.assoc_opt "connection" hdrs);
+          let st, hdrs, _ = Client.request c "GET" "/healthz" in
+          Alcotest.(check int) "second 200" 200 st;
+          Alcotest.(check (option string))
+            "connection cap closes after request 2" (Some "close")
+            (List.assoc_opt "connection" hdrs)))
+
+let server_limits_on_the_wire () =
+  let limits =
+    { Limits.default with
+      Limits.max_header_bytes = 256;
+      Limits.max_body_bytes = 128 }
+  in
+  with_server ~limits (Api.routes (demo_api ())) (fun _ port ->
+      (* headers exactly at the cap pass *)
+      let base = "GET /healthz HTTP/1.1\r\ncontent-length: 0\r\nx-pad: \r\n\r\n" in
+      let pad n = String.make n 'a' in
+      let send_padded n =
+        let c = Client.connect port in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            Client.send_raw c
+              (Printf.sprintf
+                 "GET /healthz HTTP/1.1\r\ncontent-length: 0\r\nx-pad: %s\r\n\r\n"
+                 (pad n));
+            let st, _, _ = Client.read_response c in
+            st)
+      in
+      let at_cap = 256 - String.length base in
+      Alcotest.(check int) "header at cap is served" 200 (send_padded at_cap);
+      Alcotest.(check int) "header past cap answers 400" 400
+        (send_padded (at_cap + 1));
+      (* body at the cap reaches the handler (bad JSON → 400), one past
+         is cut off with 413 before parsing *)
+      let st, _, _ =
+        Client.oneshot port "POST" "/v1/shapley" ~body:(String.make 128 'x')
+      in
+      Alcotest.(check int) "body at cap reaches the handler" 400 st;
+      let st, _, body =
+        Client.oneshot port "POST" "/v1/shapley" ~body:(String.make 129 'x')
+      in
+      Alcotest.(check int) "body past cap answers 413" 413 st;
+      Alcotest.(check int) "413 body carries the code" 413
+        (int_exn (member_exn "code" (member_exn "error" (J.parse body))));
+      (* malformed request line over the wire *)
+      let c = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send_raw c "THIS IS NOT HTTP\r\n\r\n";
+          let st, _, _ = Client.read_response c in
+          Alcotest.(check int) "garbage answers 400" 400 st))
+
+let server_mid_request_timeout () =
+  let limits = { Limits.default with Limits.read_timeout = 0.3 } in
+  with_server ~limits (Api.routes (demo_api ())) (fun _ port ->
+      let c = Client.connect port in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send_raw c "GET /heal";
+          (* half a request, then silence *)
+          let st, _, _ = Client.read_response c in
+          Alcotest.(check int) "mid-request silence answers 408" 408 st))
+
+let server_concurrent_jobs_identical () =
+  let expected = reference_triples (example13_db ()) (demo_query ()) in
+  let run_at jobs =
+    with_server ~jobs (Api.routes (demo_api ())) (fun _ port ->
+        let clients = 6 in
+        let domains =
+          Array.init clients (fun _ ->
+              Domain.spawn (fun () ->
+                  let c = Client.connect port in
+                  Fun.protect
+                    ~finally:(fun () -> Client.close c)
+                    (fun () ->
+                      List.map
+                        (fun fact ->
+                          let st, _, body =
+                            Client.request c "POST" "/v1/shapley"
+                              ~body:
+                                (Printf.sprintf
+                                   {|{"query":"demo","fact":%d}|} fact)
+                          in
+                          let j = J.parse body in
+                          let sh = member_exn "shapley" j in
+                          ( st,
+                            fact,
+                            str_exn (member_exn "num" sh),
+                            str_exn (member_exn "den" sh) ))
+                        [ 1; 2; 3; 4 ])))
+        in
+        Array.to_list domains |> List.concat_map Domain.join)
+  in
+  let check_results jobs results =
+    List.iter
+      (fun (st, fact, num, den) ->
+        Alcotest.(check int)
+          (Printf.sprintf "jobs=%d fact %d status" jobs fact)
+          200 st;
+        let expect_num, expect_den =
+          match List.find_opt (fun (id, _, _) -> id = fact) expected with
+          | Some (_, n, d) -> (n, d)
+          | None -> Alcotest.failf "no reference value for fact %d" fact
+        in
+        Alcotest.(check (pair string string))
+          (Printf.sprintf "jobs=%d fact %d exact value" jobs fact)
+          (expect_num, expect_den) (num, den))
+      results
+  in
+  let r1 = run_at 1 in
+  let r4 = run_at 4 in
+  check_results 1 r1;
+  check_results 4 r4;
+  Alcotest.(check bool) "jobs=1 and jobs=4 answer identically" true
+    (List.sort compare r1 = List.sort compare r4)
+
+let server_metrics_roundtrip () =
+  Metrics.reset ();
+  with_server (Api.routes (demo_api ())) (fun _ port ->
+      let st, _, _ = Client.oneshot port "GET" "/healthz" in
+      Alcotest.(check int) "healthz before scrape" 200 st;
+      let st, hdrs, body = Client.oneshot port "GET" "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 st;
+      (match List.assoc_opt "content-type" hdrs with
+       | Some ct ->
+         Alcotest.(check bool) "openmetrics content type" true
+           (String.length ct >= 16
+            && String.sub ct 0 16 = "application/open")
+       | None -> Alcotest.fail "metrics response without Content-Type");
+      let samples = Metrics.parse_openmetrics body in
+      let healthz_hits =
+        List.filter
+          (fun s ->
+            s.Metrics.om_name = "shapmc_http_requests_total"
+            && List.assoc_opt "route" s.Metrics.om_labels = Some "/healthz"
+            && List.assoc_opt "code" s.Metrics.om_labels = Some "200")
+          samples
+      in
+      (match healthz_hits with
+       | [ s ] ->
+         Alcotest.(check bool) "healthz counted at least once" true
+           (s.Metrics.om_value >= 1.)
+       | _ -> Alcotest.fail "expected one http_requests series for /healthz");
+      Alcotest.(check bool) "latency histogram scraped back" true
+        (List.exists
+           (fun s -> s.Metrics.om_name = "shapmc_http_request_seconds_count")
+           samples);
+      Alcotest.(check bool) "in-flight gauge scraped back" true
+        (List.exists
+           (fun s -> s.Metrics.om_name = "shapmc_http_in_flight")
+           samples))
+
+let server_shutdown_releases_port () =
+  let routes = Api.routes (demo_api ()) in
+  let first_port =
+    with_server routes (fun srv port ->
+        let st, _, _ = Client.oneshot port "GET" "/healthz" in
+        Alcotest.(check int) "pre-shutdown request" 200 st;
+        (* stop is idempotent — double stop must be harmless *)
+        Server.stop srv;
+        Server.stop srv;
+        port)
+  in
+  (* the first server is fully joined here: rebinding the same port
+     immediately must succeed (SO_REUSEADDR beats TIME_WAIT) *)
+  with_server ~port:first_port routes (fun _ port ->
+      Alcotest.(check int) "rebound the same port" first_port port;
+      let st, _, _ = Client.oneshot port "GET" "/healthz" in
+      Alcotest.(check int) "restarted server answers" 200 st)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.Exec                                                           *)
+
+let exec_runs_everything () =
+  let ex = Pool.Exec.create ~jobs:4 in
+  Alcotest.(check int) "jobs" 4 (Pool.Exec.jobs ex);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "submit accepted" true
+      (Pool.Exec.submit ex (fun () -> Atomic.incr hits))
+  done;
+  Alcotest.(check bool) "drained" true (Pool.Exec.shutdown ex);
+  Alcotest.(check int) "every task ran exactly once" 50 (Atomic.get hits);
+  Alcotest.(check bool) "submit after shutdown refused" false
+    (Pool.Exec.submit ex (fun () -> ()));
+  Alcotest.(check int) "nothing pending after drain" 0 (Pool.Exec.pending ex)
+
+let exec_jobs_clamp () =
+  let ex = Pool.Exec.create ~jobs:0 in
+  Alcotest.(check int) "jobs clamp low" 1 (Pool.Exec.jobs ex);
+  ignore (Pool.Exec.shutdown ex)
+
+let exec_deadline_then_drain () =
+  let ex = Pool.Exec.create ~jobs:1 in
+  let release = Atomic.make false in
+  let done_ = Atomic.make false in
+  ignore
+    (Pool.Exec.submit ex (fun () ->
+         while not (Atomic.get release) do
+           Domain.cpu_relax ()
+         done;
+         Atomic.set done_ true));
+  Alcotest.(check bool) "deadline expires on a stuck task" false
+    (Pool.Exec.shutdown ~deadline:0.05 ex);
+  Atomic.set release true;
+  Alcotest.(check bool) "second shutdown drains" true (Pool.Exec.shutdown ex);
+  Alcotest.(check bool) "the stuck task still completed" true
+    (Atomic.get done_)
+
+let exec_task_exception_is_contained () =
+  let ex = Pool.Exec.create ~jobs:2 in
+  let hits = Atomic.make 0 in
+  ignore (Pool.Exec.submit ex (fun () -> failwith "task boom"));
+  for _ = 1 to 10 do
+    ignore (Pool.Exec.submit ex (fun () -> Atomic.incr hits))
+  done;
+  Alcotest.(check bool) "drained despite the raising task" true
+    (Pool.Exec.shutdown ex);
+  Alcotest.(check int) "workers survived the exception" 10 (Atomic.get hits)
+
+let exec_nested_fanout_degrades () =
+  let ex = Pool.Exec.create ~jobs:2 in
+  let result = Atomic.make [||] in
+  ignore
+    (Pool.Exec.submit ex (fun () ->
+         Atomic.set result (Par.map (fun x -> x * x) [| 1; 2; 3; 4; 5 |])));
+  Alcotest.(check bool) "drained" true (Pool.Exec.shutdown ex);
+  Alcotest.(check (array int)) "nested Par.map is correct in a worker"
+    [| 1; 4; 9; 16; 25 |] (Atomic.get result)
+
+(* ------------------------------------------------------------------ *)
+(* Limits env plumbing                                                 *)
+
+let limits_from_env () =
+  let env =
+    [ ("SHAPMC_MAX_HEADER_BYTES", "4096");
+      ("SHAPMC_MAX_BODY_BYTES", "2048");
+      ("SHAPMC_READ_TIMEOUT", "2.5");
+      ("SHAPMC_MAX_CONN_REQUESTS", "7") ]
+  in
+  let l = Limits.from_env ~getenv:(fun k -> List.assoc_opt k env) Limits.default in
+  Alcotest.(check int) "header override" 4096 l.Limits.max_header_bytes;
+  Alcotest.(check int) "body override" 2048 l.Limits.max_body_bytes;
+  Alcotest.(check (float 1e-9)) "timeout override" 2.5 l.Limits.read_timeout;
+  Alcotest.(check int) "conn requests override" 7 l.Limits.max_conn_requests;
+  let bad =
+    [ ("SHAPMC_MAX_HEADER_BYTES", "banana");
+      ("SHAPMC_MAX_BODY_BYTES", "-3");
+      ("SHAPMC_READ_TIMEOUT", "0") ]
+  in
+  let l = Limits.from_env ~getenv:(fun k -> List.assoc_opt k bad) Limits.default in
+  Alcotest.(check int) "unparseable ignored"
+    Limits.default.Limits.max_header_bytes l.Limits.max_header_bytes;
+  Alcotest.(check int) "negative ignored" Limits.default.Limits.max_body_bytes
+    l.Limits.max_body_bytes;
+  Alcotest.(check (float 1e-9)) "non-positive ignored"
+    Limits.default.Limits.read_timeout l.Limits.read_timeout
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ t "http: request anatomy" http_basic;
+    t "http: byte-at-a-time equals whole" http_byte_at_a_time;
+    t "http: bare-LF tolerated" http_bare_lf;
+    t "http: malformed inputs reject with 400" http_rejects;
+    t "http: header cap exact at the boundary" http_header_cap_boundary;
+    t "http: body cap exact at the boundary" http_body_cap_boundary;
+    t "http: pipelined bytes carry over as leftover" http_pipelining_leftover;
+    t "http: response rendering" http_render_response;
+    fuzz_split_invariance;
+    fuzz_header_cap_exact;
+    json_roundtrip;
+    t "json: escaping goldens" json_escaping_goldens;
+    t "router: dispatch, 404/405/500" router_dispatch;
+    t "api: healthz and query catalog" api_healthz_queries;
+    t "api: facts parameter errors" api_facts_errors;
+    t "api: facts pages and cursors" api_facts_pages;
+    t "api: golden last-page and empty-query" api_golden_last_page_and_empty;
+    t "api: shapley bit-identical to the solver" api_shapley_bit_identical;
+    t "api: shapley error paths" api_shapley_errors;
+    t "api: cursor codec" cursor_codec;
+    facts_pagination_property;
+    shapley_all_pagination_property;
+    t "server: routing over a real socket" server_routing_over_socket;
+    t "server: keep-alive and per-connection cap" server_keep_alive_and_conn_cap;
+    t "server: limits enforced on the wire" server_limits_on_the_wire;
+    t "server: mid-request timeout answers 408" server_mid_request_timeout;
+    t "server: concurrent clients, jobs 1 and 4 identical"
+      server_concurrent_jobs_identical;
+    t "server: /metrics round-trips through the parser"
+      server_metrics_roundtrip;
+    t "server: shutdown releases the port" server_shutdown_releases_port;
+    t "exec: all submitted tasks run" exec_runs_everything;
+    t "exec: jobs clamp" exec_jobs_clamp;
+    t "exec: deadline then drain" exec_deadline_then_drain;
+    t "exec: task exceptions are contained" exec_task_exception_is_contained;
+    t "exec: nested fan-out degrades in a worker" exec_nested_fanout_degrades;
+    t "limits: environment overrides" limits_from_env ]

@@ -379,7 +379,7 @@ let chrome_tests =
               | None -> Alcotest.fail "no traceEvents array"
             in
             let ph r =
-              match Option.bind (Tiny_json.member "ph" r) Tiny_json.to_string
+              match Option.bind (Tiny_json.member "ph" r) Tiny_json.to_str
               with
               | Some p -> p
               | None -> Alcotest.fail "record without ph"
