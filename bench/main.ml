@@ -1020,15 +1020,28 @@ let () =
   end;
   if history_path <> "none" then begin
     (* Append-only: one line per run, so the committed file accumulates a
-       timeline of cost profiles across commits. *)
+       timeline of cost profiles across commits.  Stamp each line with
+       the commit it was produced at so the timeline stays attributable
+       after rebases; "unknown" outside a git checkout. *)
+    let commit =
+      try
+        let ic =
+          Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+        in
+        let line = try String.trim (input_line ic) with End_of_file -> "" in
+        match (Unix.close_process_in ic, line) with
+        | Unix.WEXITED 0, l when l <> "" -> l
+        | _ -> "unknown"
+      with Unix.Unix_error _ | Sys_error _ -> "unknown"
+    in
     let oc =
       open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 history_path
     in
     output_string oc
       (Printf.sprintf
-         "{\"schema\":1,\"ts\":%.0f,\"mode\":\"%s\",\"total_seconds\":%s,\
-          \"sections\":{%s}}\n"
-         (Unix.time ()) mode (Obs.json_float total)
+         "{\"schema\":1,\"ts\":%.0f,\"commit\":\"%s\",\"mode\":\"%s\",\
+          \"total_seconds\":%s,\"sections\":{%s}}\n"
+         (Unix.time ()) commit mode (Obs.json_float total)
          (String.concat "," (List.map (fun (_, _, h) -> h) sections)));
     close_out oc;
     Printf.printf "Run summary appended to %s\n" history_path

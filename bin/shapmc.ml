@@ -705,8 +705,42 @@ let serve_cmd =
                    in-flight requests before force-closing their \
                    connections.  Also settable via $(env).")
   in
-  let run host port jobs max_header max_body read_timeout max_conn drain files
-      =
+  let access_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~env:(Cmd.Env.info "SHAPMC_ACCESS_LOG")
+             ~doc:"Append one JSON object per answered request to $(docv) \
+                   (id, route, code, bytes, wall/oracle/queue seconds, \
+                   oracle-call count, jobs), rotating to $(docv).1 past \
+                   $(b,--access-log-max-bytes).  Follow it live with \
+                   $(b,shapmc tail).  Also settable via $(env).")
+  in
+  let access_log_max_arg =
+    Arg.(value & opt int Access_log.default_max_bytes
+         & info [ "access-log-max-bytes" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_ACCESS_LOG_MAX_BYTES")
+             ~doc:"Rotate the access log when it would exceed $(docv) \
+                   bytes; $(b,0) disables rotation.  Also settable via \
+                   $(env).")
+  in
+  let debug_requests_arg =
+    Arg.(value & opt int Telemetry.default_ring
+         & info [ "debug-requests" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_DEBUG_REQUESTS")
+             ~doc:"Keep the last $(docv) request profiles in memory for \
+                   $(b,GET /v1/debug/requests); $(b,0) disables the ring. \
+                   Also settable via $(env).")
+  in
+  let scope_cap_arg =
+    Arg.(value & opt int Shapmc_obs.Scope.default_cap
+         & info [ "scope-cap" ] ~docv:"N"
+             ~env:(Cmd.Env.info "SHAPMC_SCOPE_CAP")
+             ~doc:"Bound each request's scoped trace buffer at $(docv) \
+                   events (aggregates stay exact past it).  Also settable \
+                   via $(env).")
+  in
+  let run host port jobs max_header max_body read_timeout max_conn drain
+      access_log access_log_max debug_requests scope_cap files =
     wrap (fun () ->
         Par.set_jobs jobs;
         let name_of path = Filename.remove_extension (Filename.basename path) in
@@ -721,10 +755,19 @@ let serve_cmd =
             read_timeout;
             max_conn_requests = max_conn }
         in
-        let config =
-          { Server.host; port; jobs; limits; drain_deadline = drain }
+        let access =
+          Option.map
+            (fun path -> Access_log.open_ ~max_bytes:access_log_max path)
+            access_log
         in
-        let server = Server.create ~config (Api.routes api) in
+        let telemetry =
+          Telemetry.create ~ring:debug_requests ?access ()
+        in
+        let config =
+          { Server.host; port; jobs; limits; drain_deadline = drain;
+            telemetry = Some telemetry; scope_cap }
+        in
+        let server = Server.create ~config (Api.routes ~telemetry api) in
         Server.start server;
         Printf.printf "shapmc serve: listening on http://%s:%d (%d quer%s, jobs=%d)\n%!"
           host (Server.port server)
@@ -737,6 +780,7 @@ let serve_cmd =
         (* Dying clients must not kill the daemon mid-write. *)
         Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
         Server.run server;
+        Option.iter Access_log.close access;
         Printf.printf "shapmc serve: shut down cleanly (%d request%s served)\n%!"
           (Server.requests_served server)
           (if Server.requests_served server = 1 then "" else "s"))
@@ -746,12 +790,94 @@ let serve_cmd =
       ~doc:"Long-running HTTP Shapley-attribution service: load databases \
             and queries once, answer $(b,POST /v1/shapley) requests \
             concurrently over the domain pool, serve OpenMetrics on \
-            $(b,GET /metrics)."
+            $(b,GET /metrics) and per-request trace profiles on \
+            $(b,GET /v1/debug/requests)."
   in
   Cmd.v info
     Term.(const run $ host_arg $ port_arg $ jobs_arg $ max_header_arg
           $ max_body_arg $ read_timeout_arg $ max_conn_requests_arg
-          $ drain_arg $ files_arg)
+          $ drain_arg $ access_log_arg $ access_log_max_arg
+          $ debug_requests_arg $ scope_cap_arg $ files_arg)
+
+let tail_cmd =
+  let open Shapmc_serve in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"JSONL access log written by $(b,shapmc serve \
+                   --access-log).")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Refresh the summary every $(docv) seconds.")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Read the whole file, print one summary, exit (no \
+                   following).")
+  in
+  let run interval once file =
+    wrap (fun () ->
+        if not (Sys.file_exists file) then
+          failwith (Printf.sprintf "no such access log: %s" file);
+        let t = Tail.create () in
+        let ic = ref (open_in_bin file) in
+        let buf = Bytes.create 65536 in
+        let drain () =
+          let rec go () =
+            let k = input !ic buf 0 (Bytes.length buf) in
+            if k > 0 then begin
+              Tail.feed t (Bytes.sub_string buf 0 k);
+              go ()
+            end
+          in
+          go ()
+        in
+        let reopen_if_rotated () =
+          (* The serve side renames the file away on rotation; follow
+             the fresh file at the same path from its start. *)
+          match (Unix.stat file).Unix.st_size < pos_in !ic with
+          | true | (exception Unix.Unix_error _) -> (
+              try
+                let nic = open_in_bin file in
+                close_in_noerr !ic;
+                ic := nic
+              with Sys_error _ -> ())
+          | false -> ()
+        in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr !ic)
+          (fun () ->
+            if once then begin
+              drain ();
+              Tail.finish t;
+              print_string (Tail.render t)
+            end
+            else begin
+              Printf.printf "shapmc tail: following %s (interval %gs, \
+                             Ctrl-C to stop)\n%!" file interval;
+              while true do
+                drain ();
+                let tm = Unix.localtime (Unix.gettimeofday ()) in
+                Printf.printf "--- %02d:%02d:%02d  %d line%s ---\n%s%!"
+                  tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+                  (Tail.lines t)
+                  (if Tail.lines t = 1 then "" else "s")
+                  (Tail.render t);
+                Unix.sleepf (Float.max 0.05 interval);
+                reopen_if_rotated ()
+              done
+            end))
+  in
+  let info =
+    Cmd.info "tail"
+      ~doc:"Follow a $(b,shapmc serve) access log and render a live \
+            per-route summary: request and error counts, latency \
+            percentiles, oracle work, bytes."
+  in
+  Cmd.v info Term.(const run $ interval_arg $ once_arg $ file_arg)
 
 let trace_report_cmd =
   let run percentiles file =
@@ -799,6 +925,7 @@ let main =
   Cmd.group info
     [ count_cmd; kcount_cmd; shap_cmd; banzhaf_cmd; approx_cmd; prob_cmd;
       factor_cmd; compile_cmd; classify_cmd; lineage_cmd; stretch_cmd;
-      dimacs_cmd; export_nnf_cmd; count_nnf_cmd; serve_cmd; trace_report_cmd ]
+      dimacs_cmd; export_nnf_cmd; count_nnf_cmd; serve_cmd; tail_cmd;
+      trace_report_cmd ]
 
 let () = exit (Cmd.eval main)

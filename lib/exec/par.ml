@@ -23,9 +23,15 @@ let map f xs =
   if j <= 1 then Array.map f xs
   else begin
     let ctx = Shapmc_obs.Obs.span_context () in
+    (* The request scope rides along too, so per-request profiles stay
+       complete across the batch fan-out (the scope's own mutex makes
+       concurrent emission from workers safe). *)
+    let scope = Shapmc_obs.Scope.current () in
     let pool = Pool.create ~jobs:j in
     Pool.map pool
-      (fun x -> Shapmc_obs.Obs.with_span_context ctx (fun () -> f x))
+      (fun x ->
+        Shapmc_obs.Scope.with_current scope (fun () ->
+            Shapmc_obs.Obs.with_span_context ctx (fun () -> f x)))
       xs
   end
 

@@ -192,7 +192,23 @@ module Exec = struct
 
   let jobs t = t.e_jobs
 
+  (* Like [Par.map], a submission captures the caller's Obs span
+     context AND its installed request scope, and re-installs both in
+     the worker: spans opened by the task nest under the submitter's
+     path instead of hanging off a worker root, and request-scoped
+     events keep flowing into the submitter's scope across the domain
+     hop. *)
   let submit t task =
+    let ctx = Shapmc_obs.Obs.span_context () in
+    let scope = Shapmc_obs.Scope.current () in
+    let task =
+      match (ctx, scope) with
+      | [], None -> task
+      | _ ->
+        fun () ->
+          Shapmc_obs.Scope.with_current scope (fun () ->
+              Shapmc_obs.Obs.with_span_context ctx task)
+    in
     Mutex.lock t.lock;
     if t.stopping then begin
       Mutex.unlock t.lock;

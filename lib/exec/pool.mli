@@ -50,9 +50,13 @@ module Exec : sig
   val jobs : t -> int
 
   (** [submit t task] enqueues [task]; returns [false] (without
-      enqueuing) once {!shutdown} has been called.  A task that raises
-      is dropped after recording a [pool_exec_task_errors] metric —
-      worker domains never die to an exception. *)
+      enqueuing) once {!shutdown} has been called.  The submitter's
+      Obs span context and installed request {!Scope} are captured at
+      submission and re-installed around the task in the worker, so
+      spans nest under the caller's path and request-scoped events
+      reach the caller's scope.  A task that raises is dropped after
+      recording a [pool_exec_task_errors] metric — worker domains
+      never die to an exception. *)
   val submit : t -> (unit -> unit) -> bool
 
   (** Tasks queued plus tasks currently executing. *)

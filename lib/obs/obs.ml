@@ -13,6 +13,14 @@
    span begin/end, oracle-call, substitution and counter events without
    any extra instrumentation at the call sites.
 
+   Independently of [enabled], every entry point also emits into the
+   installed request {!Scope}, if any (see scope.mli): the scope side is
+   gated only on [Scope.current ()], and never writes to the global
+   ledgers, Trace stream or Metrics registry, so a serving process with
+   observation off still collects isolated per-request profiles.  The
+   span-stack DLS machinery runs whenever EITHER gate is open, so
+   hierarchical span paths are correct in scope-only mode too.
+
    Domain safety (the [--jobs] parallel fan-out): every mutation of the
    shared ledgers, aggregates, counters and span table happens under one
    [lock], so concurrent recordings from pool workers neither tear the
@@ -185,7 +193,9 @@ let now = Unix.gettimeofday
 (* Counters *)
 
 let add name k =
-  if !enabled_flag then begin
+  let enabled = !enabled_flag in
+  let sc = Scope.current () in
+  if enabled then begin
     let total =
       locked (fun () ->
           match Hashtbl.find_opt counters_tbl name with
@@ -198,7 +208,13 @@ let add name k =
     in
     Metrics.inc ~by:(float_of_int k) name;
     if Trace.recording () then Trace.counter ~value:total name
-  end
+  end;
+  (* The scope sees the per-request DELTA (there is no meaningful
+     process total to report into a request). *)
+  match sc with
+  | Some s ->
+    Scope.emit s ~attrs:[ ("value", Trace.Int k) ] ~kind:Trace.Counter name
+  | None -> ()
 
 let incr name = add name 1
 
@@ -215,15 +231,20 @@ let counters () =
 (* Spans *)
 
 let with_span ?attrs name f =
-  if not !enabled_flag then f ()
+  let enabled = !enabled_flag in
+  let sc = Scope.current () in
+  if (not enabled) && sc = None then f ()
   else begin
     let stack = Domain.DLS.get span_stack in
     let path =
       match stack with [] -> name | parent :: _ -> parent.fr_path ^ "/" ^ name
     in
     Domain.DLS.set span_stack (frame_of_path path :: stack);
-    if Trace.recording () then Trace.span_begin ?attrs name;
-    let prof = !profiling_flag in
+    if enabled && Trace.recording () then Trace.span_begin ?attrs name;
+    (match sc with
+     | Some s -> Scope.emit s ?attrs ~kind:Trace.Span_begin name
+     | None -> ());
+    let prof = enabled && !profiling_flag in
     let alloc0 = if prof then allocated_bytes_now () else 0. in
     let t0 = now () in
     let finish () =
@@ -249,20 +270,25 @@ let with_span ?attrs name f =
         | [] -> (0., 0.)
       in
       let self = Float.max 0.0 (dt -. child) in
-      if Trace.recording () then Trace.span_end name;
-      locked (fun () ->
-          match Hashtbl.find_opt spans_tbl path with
-          | Some a ->
-            a.sp_calls <- a.sp_calls + 1;
-            a.sp_seconds <- a.sp_seconds +. dt;
-            a.sp_self <- a.sp_self +. self
-          | None ->
-            Hashtbl.replace spans_tbl path
-              { sp_calls = 1; sp_seconds = dt; sp_self = self });
-      Metrics.observe ~labels:[ ("span", path) ] "span_self_seconds" self;
-      if prof then
-        Metrics.observe ~labels:[ ("span", path) ] "span_alloc_bytes"
-          (Float.max 0.0 (d_alloc -. child_alloc))
+      if enabled && Trace.recording () then Trace.span_end name;
+      (match sc with
+       | Some s -> Scope.emit s ~kind:Trace.Span_end name
+       | None -> ());
+      if enabled then begin
+        locked (fun () ->
+            match Hashtbl.find_opt spans_tbl path with
+            | Some a ->
+              a.sp_calls <- a.sp_calls + 1;
+              a.sp_seconds <- a.sp_seconds +. dt;
+              a.sp_self <- a.sp_self +. self
+            | None ->
+              Hashtbl.replace spans_tbl path
+                { sp_calls = 1; sp_seconds = dt; sp_self = self });
+        Metrics.observe ~labels:[ ("span", path) ] "span_self_seconds" self;
+        if prof then
+          Metrics.observe ~labels:[ ("span", path) ] "span_alloc_bytes"
+            (Float.max 0.0 (d_alloc -. child_alloc))
+      end
     in
     match f () with
     | v ->
@@ -309,50 +335,59 @@ let agg_update ~oracle ~n ~arity ~size ~seconds =
   a.a_seconds <- a.a_seconds +. seconds
 
 (* Shared recording core: ledger entry (capped), exact aggregate, trace
-   event.  [at] is the absolute start stamp of the timed region. *)
+   event, plus the installed request scope's copy.  The global side is
+   gated on [enabled]; the scope side only on a scope being installed —
+   a server running with observation off still profiles each request.
+   [at] is the absolute start stamp of the timed region. *)
 let record_call ~oracle ~n ~arity ~size ~seconds ~at ~attrs =
   let seconds = Float.max 0.0 seconds in
-  locked (fun () ->
-      calls_total := !calls_total + 1;
-      agg_update ~oracle ~n ~arity ~size ~seconds;
-      if !calls_stored < !ledger_cap_r then begin
-        calls_log :=
-          { call_oracle = oracle; call_n = n; call_arity = arity;
-            call_size = size; call_seconds = seconds }
-          :: !calls_log;
-        calls_stored := !calls_stored + 1
-      end
-      else calls_dropped_n := !calls_dropped_n + 1);
-  let lemma =
-    match List.assoc_opt "lemma" attrs with
-    | Some (Trace.Str s) -> s
-    | _ -> "-"
+  let event_attrs () =
+    (("n", Trace.Int n) :: attrs)
+    @ (if arity >= 0 then [ ("l", Trace.Int arity) ] else [])
+    @ (if size >= 0 then [ ("size", Trace.Int size) ] else [])
+    @ (match Domain.DLS.get span_stack with
+       | fr :: _ -> [ ("span", Trace.Str fr.fr_path) ]
+       | [] -> [])
   in
-  Metrics.observe
-    ~labels:
-      [ ("oracle", oracle); ("lemma", lemma);
-        ("l", if arity >= 0 then string_of_int arity else "-") ]
-    "oracle_seconds" seconds;
-  if Trace.recording () then begin
-    let trace_attrs =
-      (("n", Trace.Int n) :: attrs)
-      @ (if arity >= 0 then [ ("l", Trace.Int arity) ] else [])
-      @ (if size >= 0 then [ ("size", Trace.Int size) ] else [])
-      @ (match Domain.DLS.get span_stack with
-         | fr :: _ -> [ ("span", Trace.Str fr.fr_path) ]
-         | [] -> [])
+  if !enabled_flag then begin
+    locked (fun () ->
+        calls_total := !calls_total + 1;
+        agg_update ~oracle ~n ~arity ~size ~seconds;
+        if !calls_stored < !ledger_cap_r then begin
+          calls_log :=
+            { call_oracle = oracle; call_n = n; call_arity = arity;
+              call_size = size; call_seconds = seconds }
+            :: !calls_log;
+          calls_stored := !calls_stored + 1
+        end
+        else calls_dropped_n := !calls_dropped_n + 1);
+    let lemma =
+      match List.assoc_opt "lemma" attrs with
+      | Some (Trace.Str s) -> s
+      | _ -> "-"
     in
-    Trace.oracle ~at ~dur:seconds ~attrs:trace_attrs oracle
-  end
+    Metrics.observe
+      ~labels:
+        [ ("oracle", oracle); ("lemma", lemma);
+          ("l", if arity >= 0 then string_of_int arity else "-") ]
+      "oracle_seconds" seconds;
+    if Trace.recording () then
+      Trace.oracle ~at ~dur:seconds ~attrs:(event_attrs ()) oracle
+  end;
+  match Scope.current () with
+  | Some s ->
+    Scope.emit s ~at ~dur:seconds ~attrs:(event_attrs ()) ~kind:Trace.Oracle
+      oracle
+  | None -> ()
 
 let record ~oracle ~n ?(arity = -1) ?(size = -1) ~seconds () =
-  if !enabled_flag then
+  if !enabled_flag || Scope.active () then
     record_call ~oracle ~n ~arity ~size ~seconds
       ~at:(now () -. Float.max 0.0 seconds)
       ~attrs:[]
 
 let call ~oracle ~n ?(arity = -1) ?(size = -1) ?(attrs = []) f =
-  if not !enabled_flag then f ()
+  if not (!enabled_flag || Scope.active ()) then f ()
   else begin
     let t0 = now () in
     let r = f () in
@@ -375,6 +410,14 @@ let call_count ?oracle () =
 (* Substitution ledger *)
 
 let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
+  let subst_attrs () =
+    [ ("pre", Trace.Int pre); ("post", Trace.Int post);
+      ("fresh", Trace.Int fresh) ]
+    @ if width >= 0 then [ ("width", Trace.Int width) ] else []
+  in
+  (match Scope.current () with
+   | Some s -> Scope.emit s ~attrs:(subst_attrs ()) ~kind:Trace.Subst kind
+   | None -> ());
   if !enabled_flag then begin
     locked (fun () ->
         (match Hashtbl.find_opt subst_agg_tbl kind with
@@ -397,13 +440,7 @@ let record_subst ?(width = -1) ~kind ~pre ~post ~fresh () =
         else substs_dropped_n := !substs_dropped_n + 1);
     Metrics.observe ~labels:[ ("kind", kind) ] "subst_post_size"
       (float_of_int post);
-    if Trace.recording () then
-      Trace.subst
-        ~attrs:
-          ([ ("pre", Trace.Int pre); ("post", Trace.Int post);
-             ("fresh", Trace.Int fresh) ]
-           @ if width >= 0 then [ ("width", Trace.Int width) ] else [])
-        kind
+    if Trace.recording () then Trace.subst ~attrs:(subst_attrs ()) kind
   end
 
 let substs () = List.rev (locked (fun () -> !substs_log))
@@ -412,7 +449,10 @@ let substs () = List.rev (locked (fun () -> !substs_log))
 (* Phase markers *)
 
 let phase ?attrs name =
-  if !enabled_flag && Trace.recording () then Trace.phase ?attrs name
+  if !enabled_flag && Trace.recording () then Trace.phase ?attrs name;
+  match Scope.current () with
+  | Some s -> Scope.emit s ?attrs ~kind:Trace.Phase name
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Reports *)

@@ -1,0 +1,129 @@
+(* A request-scoped trace collector: one bounded event buffer per
+   request, carried in domain-local storage and explicitly re-installed
+   across fan-out boundaries (Par.map tasks, Pool.Exec submissions).
+
+   The global [Trace] stream is process-wide — under concurrent
+   connections every request's spans interleave and nothing ties an
+   oracle call back to the request that caused it.  A [Scope.t] is the
+   per-request counterpart: while installed ([with_scope]), every Obs
+   entry point ALSO emits into the scope, each event stamped with the
+   scope's id as a ["req"] attribute, so a profile read back from the
+   scope is attributable to exactly one request even when six of them
+   run on four workers.
+
+   Isolation invariants:
+   - scope emission never touches the global Trace stream, ledgers or
+     Metrics registry — a server running with [Obs.disable] collects
+     per-request profiles with zero global state growth;
+   - each scope has its OWN mutex, so two requests never contend on a
+     shared lock for their events (they only share the Obs span-stack
+     DLS, which is per-domain anyway);
+   - the buffer is bounded ([cap]): past it events are counted in
+     [dropped] but not stored, while the oracle-call aggregates stay
+     exact (mirroring the Obs ledger design).
+
+   The [live] atomic counts installed scopes process-wide; it is the
+   cheap gate Obs checks before the DLS lookup, so instrumented hot
+   paths outside any request pay one atomic load when scopes exist
+   anywhere and one plain branch when none do. *)
+
+type t = {
+  sc_id : string;
+  sc_cap : int;
+  sc_lock : Mutex.t;
+  sc_t0 : float;
+  mutable sc_events_rev : Trace.event list;
+  mutable sc_stored : int;
+  mutable sc_dropped : int;
+  mutable sc_seq : int;
+  mutable sc_depth : int;
+  mutable sc_oracle_calls : int;
+  mutable sc_oracle_seconds : float;
+}
+
+let default_cap = 4096
+
+let create ?(cap = default_cap) ~id () =
+  { sc_id = id;
+    sc_cap = max 0 cap;
+    sc_lock = Mutex.create ();
+    sc_t0 = Unix.gettimeofday ();
+    sc_events_rev = [];
+    sc_stored = 0;
+    sc_dropped = 0;
+    sc_seq = 0;
+    sc_depth = 0;
+    sc_oracle_calls = 0;
+    sc_oracle_seconds = 0. }
+
+let id t = t.sc_id
+let started t = t.sc_t0
+
+(* Installed scopes anywhere in the process; the fast gate. *)
+let live = Atomic.make 0
+
+let active () = Atomic.get live > 0
+
+let current_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  if Atomic.get live > 0 then Domain.DLS.get current_key else None
+
+let with_current sc f =
+  match sc with
+  | None -> f ()
+  | Some _ ->
+    let prev = Domain.DLS.get current_key in
+    Domain.DLS.set current_key sc;
+    Atomic.incr live;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr live;
+        Domain.DLS.set current_key prev)
+      f
+
+let with_scope sc f = with_current (Some sc) f
+
+let locked t f =
+  Mutex.lock t.sc_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sc_lock) f
+
+let emit t ?at ?dur ?(attrs = []) ~kind name =
+  let wall = match at with Some a -> a | None -> Unix.gettimeofday () in
+  locked t (fun () ->
+      let rel = Float.max 0. (wall -. t.sc_t0) in
+      let seq = t.sc_seq in
+      t.sc_seq <- seq + 1;
+      (* Like [Trace]: a Span_end is recorded at its begin's depth. *)
+      (match kind with
+       | Trace.Span_end -> if t.sc_depth > 0 then t.sc_depth <- t.sc_depth - 1
+       | _ -> ());
+      let ev =
+        { Trace.seq;
+          at = rel;
+          depth = t.sc_depth;
+          kind;
+          name;
+          dur;
+          attrs = ("req", Trace.Str t.sc_id) :: attrs }
+      in
+      if t.sc_stored < t.sc_cap then begin
+        t.sc_events_rev <- ev :: t.sc_events_rev;
+        t.sc_stored <- t.sc_stored + 1
+      end
+      else t.sc_dropped <- t.sc_dropped + 1;
+      match kind with
+      | Trace.Span_begin -> t.sc_depth <- t.sc_depth + 1
+      | Trace.Oracle ->
+        t.sc_oracle_calls <- t.sc_oracle_calls + 1;
+        t.sc_oracle_seconds <-
+          t.sc_oracle_seconds
+          +. (match dur with Some d -> Float.max 0. d | None -> 0.)
+      | _ -> ())
+
+let events t = locked t (fun () -> List.rev t.sc_events_rev)
+let emitted t = locked t (fun () -> t.sc_seq)
+let stored t = locked t (fun () -> t.sc_stored)
+let dropped t = locked t (fun () -> t.sc_dropped)
+let oracle_calls t = locked t (fun () -> t.sc_oracle_calls)
+let oracle_seconds t = locked t (fun () -> t.sc_oracle_seconds)

@@ -1,0 +1,83 @@
+(** Request-scoped trace collection.
+
+    The global {!Trace} stream is process-wide: under concurrent
+    requests every connection's spans and oracle calls interleave.  A
+    [Scope.t] is a bounded, mutex-guarded event buffer owned by one
+    request.  While installed ({!with_scope}) — in domain-local storage,
+    explicitly re-propagated by [Par.map] and [Pool.Exec.submit] — every
+    [Obs] entry point additionally emits into it, each event stamped
+    with the scope id as a [("req", Str id)] attribute.
+
+    Scope emission is independent of {!Obs.enabled} and never touches
+    the global stream, ledgers or {!Metrics.default}: a server running
+    with observation off still collects per-request profiles, and two
+    concurrent requests never contend on a shared lock for their
+    events.  Events use the {!Trace.event} type, so all the existing
+    export tooling ({!Trace_export.chrome}, [jsonl], [report]) applies
+    to a single request's buffer unchanged.
+
+    Past [cap] events, new ones are counted in {!dropped} but not
+    stored; the oracle aggregates ({!oracle_calls},
+    {!oracle_seconds}) stay exact, mirroring the Obs ledger design. *)
+
+type t
+
+val default_cap : int
+(** 4096 events. *)
+
+(** [create ~id ()] is an empty scope whose clock starts now; [cap]
+    bounds the stored events (default {!default_cap}; [0] keeps only
+    aggregates). *)
+val create : ?cap:int -> id:string -> unit -> t
+
+val id : t -> string
+
+(** Wall-clock stamp of {!create}; event times are relative to it. *)
+val started : t -> float
+
+(** {1 Installation} *)
+
+(** [with_scope sc f] runs [f ()] with [sc] installed as this domain's
+    current scope, restoring the previous one afterwards (also on
+    raise).  Nesting installs the inner scope only. *)
+val with_scope : t -> (unit -> 'a) -> 'a
+
+(** [with_current c f] re-installs a captured {!current} inside a
+    worker ([None] is exactly [f ()]) — the fan-out propagation hook. *)
+val with_current : t option -> (unit -> 'a) -> 'a
+
+(** This domain's installed scope, if any.  Capture it before handing
+    work to another domain, re-install there with {!with_current}. *)
+val current : unit -> t option
+
+(** Is any scope installed anywhere in the process?  One atomic load —
+    the cheap gate instrumentation checks before the DLS lookup. *)
+val active : unit -> bool
+
+(** {1 Emission} (called by [Obs]; [at] is an absolute wall stamp) *)
+
+val emit :
+  t ->
+  ?at:float ->
+  ?dur:float ->
+  ?attrs:(string * Trace.value) list ->
+  kind:Trace.kind ->
+  string ->
+  unit
+
+(** {1 Read-back} *)
+
+(** Stored events in chronological order, every one carrying the
+    [("req", Str id)] attribute. *)
+val events : t -> Trace.event list
+
+(** Events emitted (stored + dropped). *)
+val emitted : t -> int
+
+val stored : t -> int
+val dropped : t -> int
+
+(** Exact oracle-call aggregates (also past the cap). *)
+val oracle_calls : t -> int
+
+val oracle_seconds : t -> float

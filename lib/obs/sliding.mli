@@ -1,0 +1,36 @@
+(** Sliding-window SLO instruments: rolling request/error counts and
+    latency percentiles over the last N seconds, built on {!Histogram}
+    merge.
+
+    A lazily-rotated ring of time buckets (no timer thread); the
+    covered interval is between (buckets−1)·width and buckets·width
+    seconds, the usual ring approximation of a true sliding window.
+    Domain-safe behind one mutex; [now] is injectable everywhere so
+    tests drive rotation deterministically. *)
+
+type t
+
+val default_buckets : int
+(** 15 — quantization error under 7% of the window. *)
+
+(** [create ~window ()] covers the trailing [window] seconds.
+    @raise Invalid_argument when [window <= 0]. *)
+val create : ?buckets:int -> window:float -> unit -> t
+
+(** The configured window in seconds. *)
+val window : t -> float
+
+(** [observe t ~ok seconds] records one request outcome ([ok = false]
+    counts as an error) with its latency. *)
+val observe : ?now:float -> t -> ok:bool -> float -> unit
+
+type snapshot = {
+  w_requests : int;
+  w_errors : int;
+  w_error_ratio : float;  (** [0.] when the window is empty *)
+  w_p50 : float;
+  w_p95 : float;
+  w_p99 : float;  (** [nan] when the window is empty *)
+}
+
+val snapshot : ?now:float -> t -> snapshot

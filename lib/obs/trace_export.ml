@@ -97,6 +97,30 @@ let event_line (e : Trace.event) =
 let jsonl events =
   String.concat "" (List.map (fun e -> event_line e ^ "\n") events)
 
+(* Structured counterpart of [event_line], same field names and
+   semantics, so [event_of_json (event_to_json e)] is [e] (with NaN
+   attributes mapping to Null and back like the text path). *)
+let value_to_json = function
+  | Trace.Int v -> Tiny_json.Int v
+  | Trace.Float f -> if Float.is_nan f then Tiny_json.Null else Tiny_json.Float f
+  | Trace.Str s -> Tiny_json.Str s
+  | Trace.Bool b -> Tiny_json.Bool b
+
+let event_to_json (e : Trace.event) =
+  Tiny_json.Obj
+    ([ ("seq", Tiny_json.Int e.Trace.seq);
+       ("t", Tiny_json.Float e.Trace.at);
+       ("depth", Tiny_json.Int e.Trace.depth);
+       ("kind", Tiny_json.Str (Trace.kind_name e.Trace.kind));
+       ("name", Tiny_json.Str e.Trace.name) ]
+     @ (match e.Trace.dur with
+        | Some d -> [ ("dur", Tiny_json.Float d) ]
+        | None -> [])
+     @ [ ( "attrs",
+           Tiny_json.Obj
+             (List.map (fun (k, v) -> (k, value_to_json v)) e.Trace.attrs) )
+       ])
+
 let value_of_json = function
   | Tiny_json.Int v -> Trace.Int v
   | Tiny_json.Float f -> Trace.Float f

@@ -26,6 +26,11 @@ val jsonl : Trace.event list -> string
 val event_of_json : Tiny_json.t -> Trace.event
 (** @raise Failure on a malformed event object. *)
 
+val event_to_json : Trace.event -> Tiny_json.t
+(** Structured counterpart of one {!jsonl} line (same field names), so
+    [event_of_json (event_to_json e) = e] for finite attribute floats
+    (NaN maps through [null] like the text path). *)
+
 val events_of_jsonl : string -> Trace.event list
 (** Parse a whole JSONL document (blank lines skipped).
     @raise Failure with a line number on malformed input. *)

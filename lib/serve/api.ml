@@ -15,7 +15,10 @@ type memo = {
   lock : Mutex.t;
 }
 
-type t = { list : (entry * memo) list }
+type t = { list : (entry * memo) list; created : float }
+
+(* Service version reported by /healthz; tracks the PR sequence. *)
+let version = "0.7.0"
 
 let facts_of db =
   let all =
@@ -46,7 +49,8 @@ let of_pairs pairs =
         (fun (name, (db, query)) ->
           ( { name; db; query; facts = facts_of db },
             { shap = None; lock = Mutex.create () } ))
-        pairs }
+        pairs;
+    created = Unix.gettimeofday () }
 
 let load_files files =
   of_pairs
@@ -70,7 +74,18 @@ let shapley_all t entry =
         match memo.shap with
         | Some r -> r
         | None ->
-          let r = Dichotomy.shapley e.db e.query in
+          (* A memo miss is this layer's oracle consultation: the full
+             Shapley solve.  Ledger it so per-request scopes, the access
+             log and /metrics attribute solver time to the request that
+             paid for it (memo hits are oracle-free by construction). *)
+          let r =
+            Obs.call ~oracle:"api.shapley_all"
+              ~n:(Array.length e.facts)
+              ~attrs:[ ("query", Trace.Str e.name) ]
+              (fun () ->
+                Obs.with_span "api.solve" (fun () ->
+                    Dichotomy.shapley e.db e.query))
+          in
           memo.shap <- Some r;
           r)
 
@@ -149,10 +164,14 @@ let solver_string = function
   | Dichotomy.Safe_plan_circuit -> "safe-plan-circuit"
   | Dichotomy.Compiled_dnf -> "compiled-dnf"
 
-let healthz t _req =
+let healthz ~started t _req =
+  let uptime = Float.max 0. (Unix.gettimeofday () -. started) in
   Json_codec.json_response
     (J.Obj
        [ ("status", J.Str "ok");
+         ("version", J.Str version);
+         ("pid", J.Int (Unix.getpid ()));
+         ("uptime_seconds", J.Float uptime);
          ("queries", J.Int (List.length t.list)) ])
 
 let queries t _req =
@@ -282,17 +301,69 @@ let shapley_all_route t (req : Http.request) =
                 | Some c -> [ ("next_cursor", J.Str c) ]
                 | None -> []))))
 
-let metrics _req =
+let metrics ?telemetry () _req =
+  (* Refresh the rolling SLO gauges at scrape time: windows rotate
+     lazily, so the exposition reflects "now", not the last request. *)
+  (match telemetry with
+   | Some tel -> Telemetry.set_slo_gauges tel
+   | None -> ());
   { Router.status = 200;
     headers =
       [ ( "Content-Type",
           "application/openmetrics-text; version=1.0.0; charset=utf-8" ) ];
     body = Metrics.to_openmetrics () }
 
-let routes t =
-  [ Router.route Http.GET "/healthz" (healthz t);
+(* ------------------------------------------------------------------ *)
+(* Debug endpoints: the last-N request profiles ring. *)
+
+let debug_requests tel _req =
+  let ps = Telemetry.profiles tel in
+  Json_codec.json_response
+    (J.Obj
+       [ ("count", J.Int (List.length ps));
+         ("recorded", J.Int (Telemetry.recorded tel));
+         ("requests", J.List (List.map Telemetry.summary_json ps)) ])
+
+let debug_request tel params (req : Http.request) =
+  match List.assoc_opt "id" params with
+  | None -> Json_codec.error 400 "missing request id"
+  | Some id -> (
+      match Telemetry.find tel id with
+      | None ->
+        Json_codec.error 404
+          (Printf.sprintf
+             "no profile for request %s (ring keeps the last %d)" id
+             (List.length (Telemetry.profiles tel)))
+      | Some p -> (
+          match List.assoc_opt "format" req.Http.query with
+          | Some "chrome" ->
+            (* The request's scoped buffer through the standard trace
+               exporter: one production request, straight into
+               Perfetto. *)
+            { Router.status = 200;
+              headers = [ ("Content-Type", "application/json") ];
+              body = Trace_export.chrome p.Telemetry.p_events }
+          | Some other ->
+            Json_codec.error 400
+              ("unknown format: " ^ other ^ " (try format=chrome)")
+          | None -> Json_codec.json_response (Telemetry.profile_json p)))
+
+let routes ?telemetry t =
+  let started =
+    match telemetry with
+    | Some tel -> Telemetry.started tel
+    | None -> t.created
+  in
+  [ Router.route Http.GET "/healthz" (healthz ~started t);
     Router.route Http.GET "/v1/queries" (queries t);
     Router.route Http.GET "/v1/facts" (facts t);
     Router.route Http.POST "/v1/shapley" (shapley t);
     Router.route Http.POST "/v1/shapley/all" (shapley_all_route t);
-    Router.route Http.GET "/metrics" metrics ]
+    Router.route Http.GET "/metrics" (metrics ?telemetry ()) ]
+  @
+  match telemetry with
+  | None -> []
+  | Some tel ->
+    [ Router.route Http.GET "/v1/debug/requests" (debug_requests tel);
+      Router.route_params Http.GET "/v1/debug/requests/:id"
+        (debug_request tel) ]

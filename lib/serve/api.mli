@@ -4,12 +4,20 @@
     cursor-paginated fact enumeration.
 
     Routes:
-    - [GET /healthz] — liveness + loaded-query count
+    - [GET /healthz] — liveness: status, {!version}, pid, uptime,
+      loaded-query count
     - [GET /v1/queries] — every query with its Theorem 5.1 class
     - [GET /v1/facts?query=Q&cursor=&limit=] — endogenous facts, paged
     - [POST /v1/shapley] [{query, fact}] — one fact's exact Shapley value
     - [POST /v1/shapley/all] [{query, cursor?, limit?}] — all facts, paged
-    - [GET /metrics] — OpenMetrics exposition of {!Metrics.default} *)
+    - [GET /metrics] — OpenMetrics exposition of {!Metrics.default}
+      (rolling SLO gauges refreshed at scrape time when a
+      {!Telemetry.t} is attached)
+    - [GET /v1/debug/requests] (telemetry only) — ring of recent
+      request profiles, newest first
+    - [GET /v1/debug/requests/:id] (telemetry only) — one request's
+      full profile with its scoped events; [?format=chrome] renders
+      the events through {!Trace_export.chrome} for Perfetto *)
 
 type entry = {
   name : string;
@@ -38,7 +46,13 @@ val find : t -> string -> entry option
     block, then share); later calls are lookups. *)
 val shapley_all : t -> entry -> (int * Rat.t) list * Dichotomy.solver
 
-val routes : t -> Router.route list
+(** Version string reported by [/healthz]. *)
+val version : string
+
+(** [routes ?telemetry t] — attaching a {!Telemetry.t} adds the
+    [/v1/debug/requests] endpoints and SLO gauge refresh on
+    [/metrics], and bases the [/healthz] uptime on its start stamp. *)
+val routes : ?telemetry:Telemetry.t -> t -> Router.route list
 
 (** {1 Cursors} — opaque tokens ordered lexicographically like the
     fact ids they encode. *)

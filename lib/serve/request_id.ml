@@ -1,0 +1,109 @@
+(* Request identity: an [X-Request-Id] honored (after sanitizing) or
+   generated, plus W3C Trace Context propagation — parse an incoming
+   [traceparent], keep its trace-id, mint a fresh span-id for the work
+   this server does, and emit both headers on the response so the id a
+   client logged is the id the access log, the debug ring and every
+   scoped event carry.
+
+   When the client sends neither header, the generated request id IS
+   the (fresh) 32-hex trace id, so logs and traces correlate by a
+   single token.
+
+   Randomness: one [Random.State] seeded from wall clock + pid, behind
+   a mutex (requests arrive on many domains).  Uniqueness per process
+   is what the debug ring needs; these are not security tokens. *)
+
+type t = {
+  r_id : string;
+  r_trace_id : string;  (* 32 lowercase hex *)
+  r_parent_span : string option;  (* the client's span id, verbatim *)
+  r_span_id : string;  (* our fresh 16 lowercase hex *)
+}
+
+let id t = t.r_id
+let trace_id t = t.r_trace_id
+let span_id t = t.r_span_id
+let parent_span t = t.r_parent_span
+
+let rng_lock = Mutex.create ()
+
+let rng =
+  lazy
+    (Random.State.make
+       [| Unix.getpid ();
+          (let t = Unix.gettimeofday () in
+           int_of_float (Float.rem (t *. 1e6) 1e9)) |])
+
+let hex_chars = "0123456789abcdef"
+
+let random_hex n =
+  Mutex.lock rng_lock;
+  let st = Lazy.force rng in
+  let s = String.init n (fun _ -> hex_chars.[Random.State.int st 16]) in
+  Mutex.unlock rng_lock;
+  s
+
+let is_hex s =
+  String.for_all
+    (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+    s
+
+let all_zero s = String.for_all (fun c -> c = '0') s
+
+(* A usable X-Request-Id: 1..64 chars from a conservative token set, so
+   ids flow into logs, headers and URLs without escaping anywhere. *)
+let valid_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       s
+
+(* [traceparent: VV-<32 hex trace-id>-<16 hex parent-id>-FF], lowercase
+   hex, ids not all-zero, version not "ff".  Returns (trace_id,
+   parent_span_id). *)
+let parse_traceparent s =
+  match String.split_on_char '-' (String.trim s) with
+  | [ version; tid; sid; flags ]
+    when String.length version = 2
+         && is_hex version && version <> "ff"
+         && String.length tid = 32
+         && is_hex tid
+         && not (all_zero tid)
+         && String.length sid = 16
+         && is_hex sid
+         && not (all_zero sid)
+         && String.length flags = 2
+         && is_hex flags ->
+    Some (tid, sid)
+  | _ -> None
+
+let make ?request_id ?traceparent () =
+  let trace_id, parent_span =
+    match Option.map parse_traceparent traceparent with
+    | Some (Some (tid, sid)) -> (tid, Some sid)
+    | _ -> (random_hex 32, None)
+  in
+  let r_id =
+    match request_id with
+    | Some rid when valid_id rid -> rid
+    | _ -> trace_id
+  in
+  { r_id; r_trace_id = trace_id; r_parent_span = parent_span;
+    r_span_id = random_hex 16 }
+
+let of_request (req : Http.request) =
+  make
+    ?request_id:(Http.header req "x-request-id")
+    ?traceparent:(Http.header req "traceparent")
+    ()
+
+(* Outgoing: sampled flag set — this server recorded the request. *)
+let traceparent t = Printf.sprintf "00-%s-%s-01" t.r_trace_id t.r_span_id
+
+let response_headers t =
+  [ ("X-Request-Id", t.r_id); ("traceparent", traceparent t) ]

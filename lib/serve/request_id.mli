@@ -1,0 +1,39 @@
+(** Per-request identity: [X-Request-Id] plus W3C Trace Context
+    ([traceparent]) propagation.
+
+    {!of_request} honors a syntactically valid incoming [X-Request-Id]
+    (1–64 chars of [[A-Za-z0-9._-]]) and the trace-id of a valid
+    [traceparent]; anything missing or malformed is replaced by fresh
+    random hex.  With neither header, the generated request id equals
+    the fresh 32-hex trace id, so access-log lines, scoped events and
+    distributed traces correlate by one token.  A fresh 16-hex span id
+    is always minted for this server's own work. *)
+
+type t
+
+val of_request : Http.request -> t
+
+(** [make ?request_id ?traceparent ()] — the header-independent core
+    (testable without a parsed request). *)
+val make : ?request_id:string -> ?traceparent:string -> unit -> t
+
+val id : t -> string
+val trace_id : t -> string
+val span_id : t -> string
+
+(** The client's span id from a valid incoming [traceparent]. *)
+val parent_span : t -> string option
+
+(** The outgoing header value: [00-<trace_id>-<span_id>-01]. *)
+val traceparent : t -> string
+
+(** [[("X-Request-Id", ...); ("traceparent", ...)]] — append to every
+    response so clients can correlate. *)
+val response_headers : t -> (string * string) list
+
+(** Is [s] acceptable as an [X-Request-Id]? *)
+val valid_id : string -> bool
+
+(** Parse [VV-<32hex>-<16hex>-FF] (lowercase hex, ids non-zero,
+    version ≠ [ff]) into [(trace_id, parent_span_id)]. *)
+val parse_traceparent : string -> (string * string) option

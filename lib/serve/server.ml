@@ -4,6 +4,8 @@ type config = {
   jobs : int;
   limits : Limits.t;
   drain_deadline : float;
+  telemetry : Telemetry.t option;
+  scope_cap : int;
 }
 
 let default_config =
@@ -11,7 +13,9 @@ let default_config =
     port = 8080;
     jobs = 1;
     limits = Limits.default;
-    drain_deadline = 5. }
+    drain_deadline = 5.;
+    telemetry = None;
+    scope_cap = Scope.default_cap }
 
 type t = {
   config : config;
@@ -98,16 +102,65 @@ let set_in_flight t delta =
   let v = Atomic.fetch_and_add t.in_flight delta + delta in
   Metrics.set "http_in_flight" (float_of_int v)
 
+(* Send the response and return the request's wall seconds (also fed
+   to the telemetry profile, so log and metrics agree). *)
 let send t fd ~route ~keep_alive ~t0 (resp : Router.response) =
   write_all fd
     (Http.render_response ~headers:resp.Router.headers ~keep_alive
        ~status:resp.Router.status ~body:resp.Router.body ());
-  observe_request ~route ~status:resp.Router.status
-    ~seconds:(Float.max 0. (Unix.gettimeofday () -. t0));
-  Atomic.incr t.served
+  let seconds = Float.max 0. (Unix.gettimeofday () -. t0) in
+  observe_request ~route ~status:resp.Router.status ~seconds;
+  Atomic.incr t.served;
+  seconds
 
-(* One full keep-alive connection: parse, dispatch, answer, repeat. *)
-let handle_connection t fd =
+(* Every answered request — including protocol-level 408/4xx rejects —
+   lands in the telemetry ring, SLO windows and access log. *)
+let record_profile t ~rid ~scope ~route ~meth ~path ~status ~bytes ~t0 ~wall
+    ~queue =
+  match t.config.telemetry with
+  | None -> ()
+  | Some tel ->
+    Telemetry.record tel
+      { Telemetry.p_id = Request_id.id rid;
+        p_trace_id = Request_id.trace_id rid;
+        p_route = route;
+        p_meth = meth;
+        p_path = path;
+        p_status = status;
+        p_start = t0;
+        p_wall_seconds = wall;
+        p_queue_seconds = queue;
+        p_oracle_calls = Scope.oracle_calls scope;
+        p_oracle_seconds = Scope.oracle_seconds scope;
+        p_bytes = bytes;
+        p_jobs = t.config.jobs;
+        p_events = Scope.events scope;
+        p_events_dropped = Scope.dropped scope }
+
+let with_request_id rid (resp : Router.response) =
+  { resp with
+    Router.headers = resp.Router.headers @ Request_id.response_headers rid }
+
+(* A protocol-level failure (timeout, parse reject) still gets an id,
+   response headers and a telemetry record — "invalid" route, no
+   events. *)
+let send_error t fd ~accepted ~nreq ~t0 (resp : Router.response) =
+  let rid = Request_id.make () in
+  let scope = Scope.create ~cap:0 ~id:(Request_id.id rid) () in
+  let wall =
+    send t fd ~route:"invalid" ~keep_alive:false ~t0
+      (with_request_id rid resp)
+  in
+  record_profile t ~rid ~scope ~route:"invalid" ~meth:"-" ~path:"-"
+    ~status:resp.Router.status
+    ~bytes:(String.length resp.Router.body)
+    ~t0 ~wall
+    ~queue:(if nreq = 0 then Float.max 0. (t0 -. accepted) else 0.)
+
+(* One full keep-alive connection: parse, dispatch, answer, repeat.
+   [accepted] is the accept-loop timestamp; the gap to the first
+   request's processing start is its queue time (executor backlog). *)
+let handle_connection t ~accepted fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true
    with Unix.Unix_error _ -> ());
   (try
@@ -138,18 +191,15 @@ let handle_connection t fd =
     | `Timeout ->
       (* Mid-request silence is an error; idle between requests is a
          normal keep-alive close. *)
-      if Http.bytes_fed parser_ > 0 then begin
-        let t0 = Unix.gettimeofday () in
-        send t fd ~route:"invalid" ~keep_alive:false ~t0
+      if Http.bytes_fed parser_ > 0 then
+        send_error t fd ~accepted ~nreq ~t0:(Unix.gettimeofday ())
           (Json_codec.error 408 "request read timed out")
-      end
     | `Outcome Http.Incomplete -> assert false (* poll after eof is terminal *)
     | `Outcome (Http.Reject (status, msg)) ->
       (* A clean EOF before any byte of a next request is just the
          client hanging up. *)
       if Http.bytes_fed parser_ > 0 then begin
-        let t0 = Unix.gettimeofday () in
-        send t fd ~route:"invalid" ~keep_alive:false ~t0
+        send_error t fd ~accepted ~nreq ~t0:(Unix.gettimeofday ())
           (Json_codec.error status msg);
         (* Lingering close: a 413 client may still be mid-upload.
            Closing now would send RST and discard our buffered
@@ -166,18 +216,38 @@ let handle_connection t fd =
       end
     | `Outcome (Http.Request req) ->
       let t0 = Unix.gettimeofday () in
+      let queue = if nreq = 0 then Float.max 0. (t0 -. accepted) else 0. in
+      let rid = Request_id.of_request req in
+      (* The request's scope: installed for the whole dispatch, so every
+         span/oracle/subst event the handler triggers — including work
+         fanned out via Par.map / Pool (which re-install it in their
+         workers) — accumulates here, stamped with this request's id. *)
+      let scope = Scope.create ~cap:t.config.scope_cap ~id:(Request_id.id rid) () in
       set_in_flight t 1;
       let route, resp =
         Fun.protect
           ~finally:(fun () -> set_in_flight t (-1))
-          (fun () -> Router.dispatch t.routes req)
+          (fun () ->
+            Scope.with_scope scope (fun () ->
+                Obs.with_span
+                  ~attrs:
+                    [ ("method", Trace.Str (Http.meth_to_string req.Http.meth));
+                      ("path", Trace.Str req.Http.path) ]
+                  "http.request"
+                  (fun () -> Router.dispatch t.routes req)))
       in
+      let resp = with_request_id rid resp in
       let keep_alive =
         Http.wants_keep_alive req
         && nreq + 1 < t.config.limits.Limits.max_conn_requests
         && not (Atomic.get t.stop_flag)
       in
-      send t fd ~route ~keep_alive ~t0 resp;
+      let wall = send t fd ~route ~keep_alive ~t0 resp in
+      record_profile t ~rid ~scope ~route
+        ~meth:(Http.meth_to_string req.Http.meth)
+        ~path:req.Http.path ~status:resp.Router.status
+        ~bytes:(String.length resp.Router.body)
+        ~t0 ~wall ~queue;
       if keep_alive then begin
         let next = Http.create ~limits:t.config.limits in
         Http.feed next (Http.leftover parser_);
@@ -221,10 +291,11 @@ let run t =
     match Unix.accept ~cloexec:true sock with
     | fd, _ ->
       register_conn t fd;
+      let accepted = Unix.gettimeofday () in
       let task () =
         Fun.protect
           ~finally:(fun () -> unregister_conn t fd)
-          (fun () -> handle_connection t fd)
+          (fun () -> handle_connection t ~accepted fd)
       in
       if not (Pool.Exec.submit exec task) then unregister_conn t fd
     | exception Unix.Unix_error (Unix.EINTR, _, _) ->

@@ -12,7 +12,17 @@
     [http_requests{route,code}] (counter),
     [http_request_seconds{route,code}] (histogram) and the
     [http_in_flight] gauge into {!Metrics.default} — scrape them back
-    over [GET /metrics]. *)
+    over [GET /metrics].
+
+    Request-scoped observability: each request gets a {!Request_id}
+    (honoring incoming [X-Request-Id] / [traceparent], echoing both on
+    the response) and runs with its own {!Scope} installed, so every
+    span and oracle event it triggers — across [Par.map]/[Pool] worker
+    domains — is captured in a per-request buffer stamped with its id,
+    independent of the global [Obs] switch.  With a [telemetry] value
+    in the config, every completion (including protocol-level 4xx
+    rejects, route ["invalid"]) is recorded into the profile ring, the
+    rolling SLO windows and the access log. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -22,6 +32,13 @@ type config = {
   drain_deadline : float;
       (** seconds {!run} waits for in-flight requests after {!stop}
           before force-closing their sockets (default 5.) *)
+  telemetry : Telemetry.t option;
+      (** per-request profile ring / SLO windows / access log; share it
+          with {!Api.routes} so the debug endpoints read what the
+          server records (default [None]) *)
+  scope_cap : int;
+      (** per-request scoped-event buffer bound (default
+          {!Scope.default_cap}) *)
 }
 
 val default_config : config

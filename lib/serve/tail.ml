@@ -1,0 +1,149 @@
+(* Aggregation engine of `shapmc tail`: feed it chunks of a JSONL
+   access log (partial trailing lines are carried across feeds, so it
+   can follow a live file), get back a per-route summary table —
+   request/error counts, wall-latency percentiles via the same
+   log-linear histograms as the live metrics, oracle work, bytes.
+
+   Unparseable lines are counted, never fatal: a rotated-away or
+   truncated file must not kill the follower. *)
+
+module J = Tiny_json
+
+type stats = {
+  mutable st_requests : int;
+  mutable st_errors : int;  (* 5xx *)
+  mutable st_client_errors : int;  (* 4xx *)
+  mutable st_bytes : int;
+  mutable st_oracle_calls : int;
+  mutable st_oracle_seconds : float;
+  st_wall : Histogram.t;
+}
+
+type t = {
+  tbl : (string, stats) Hashtbl.t;
+  mutable carry : string;  (* partial last line of the previous feed *)
+  mutable lines : int;
+  mutable bad_lines : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 8; carry = ""; lines = 0; bad_lines = 0 }
+
+let lines t = t.lines
+let bad_lines t = t.bad_lines
+
+let stats_for t route =
+  match Hashtbl.find_opt t.tbl route with
+  | Some s -> s
+  | None ->
+    let s =
+      { st_requests = 0; st_errors = 0; st_client_errors = 0; st_bytes = 0;
+        st_oracle_calls = 0; st_oracle_seconds = 0.;
+        st_wall = Histogram.create () }
+    in
+    Hashtbl.replace t.tbl route s;
+    s
+
+let int_member name json =
+  match Option.bind (J.member name json) J.to_int with
+  | Some v -> v
+  | None -> 0
+
+let float_member name json =
+  match Option.bind (J.member name json) J.to_float with
+  | Some v -> v
+  | None -> 0.
+
+let feed_line t line =
+  let line = String.trim line in
+  if line <> "" then begin
+    t.lines <- t.lines + 1;
+    match J.parse_opt line with
+    | Some (J.Obj _ as json) ->
+      let route =
+        match Option.bind (J.member "route" json) J.to_str with
+        | Some r -> r
+        | None -> "?"
+      in
+      let s = stats_for t route in
+      let code = int_member "code" json in
+      s.st_requests <- s.st_requests + 1;
+      if code >= 500 then s.st_errors <- s.st_errors + 1
+      else if code >= 400 then s.st_client_errors <- s.st_client_errors + 1;
+      s.st_bytes <- s.st_bytes + int_member "bytes" json;
+      s.st_oracle_calls <- s.st_oracle_calls + int_member "oracle_calls" json;
+      s.st_oracle_seconds <-
+        s.st_oracle_seconds +. float_member "oracle_seconds" json;
+      Histogram.observe s.st_wall (float_member "wall_seconds" json)
+    | _ -> t.bad_lines <- t.bad_lines + 1
+  end
+
+let feed t chunk =
+  let data = t.carry ^ chunk in
+  let parts = String.split_on_char '\n' data in
+  (* The last split piece is complete only if [data] ended in \n (then
+     it is ""); otherwise carry it into the next feed. *)
+  let rec go = function
+    | [] -> t.carry <- ""
+    | [ last ] -> t.carry <- last
+    | line :: rest ->
+      feed_line t line;
+      go rest
+  in
+  go parts
+
+(* Flush a trailing unterminated line (end of a --once read). *)
+let finish t =
+  if t.carry <> "" then begin
+    feed_line t t.carry;
+    t.carry <- ""
+  end
+
+let ms s = s *. 1e3
+
+let render t =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let rows =
+    List.sort compare (Hashtbl.fold (fun k s acc -> (k, s) :: acc) t.tbl [])
+  in
+  if rows = [] then line "(no requests)"
+  else begin
+    line "%-22s %8s %6s %6s %9s %9s %9s %8s %10s %10s" "route" "req" "4xx"
+      "5xx" "p50-ms" "p95-ms" "p99-ms" "oracle" "oracle-ms" "KiB";
+    let tot =
+      { st_requests = 0; st_errors = 0; st_client_errors = 0; st_bytes = 0;
+        st_oracle_calls = 0; st_oracle_seconds = 0.;
+        st_wall = Histogram.create () }
+    in
+    List.iter
+      (fun (route, s) ->
+        tot.st_requests <- tot.st_requests + s.st_requests;
+        tot.st_errors <- tot.st_errors + s.st_errors;
+        tot.st_client_errors <- tot.st_client_errors + s.st_client_errors;
+        tot.st_bytes <- tot.st_bytes + s.st_bytes;
+        tot.st_oracle_calls <- tot.st_oracle_calls + s.st_oracle_calls;
+        tot.st_oracle_seconds <- tot.st_oracle_seconds +. s.st_oracle_seconds;
+        Histogram.merge_into ~into:tot.st_wall s.st_wall;
+        line "%-22s %8d %6d %6d %9.2f %9.2f %9.2f %8d %10.2f %10.1f" route
+          s.st_requests s.st_client_errors s.st_errors
+          (ms (Histogram.percentile s.st_wall 0.5))
+          (ms (Histogram.percentile s.st_wall 0.95))
+          (ms (Histogram.percentile s.st_wall 0.99))
+          s.st_oracle_calls
+          (ms s.st_oracle_seconds)
+          (float_of_int s.st_bytes /. 1024.))
+      rows;
+    line "%-22s %8d %6d %6d %9.2f %9.2f %9.2f %8d %10.2f %10.1f" "TOTAL"
+      tot.st_requests tot.st_client_errors tot.st_errors
+      (ms (Histogram.percentile tot.st_wall 0.5))
+      (ms (Histogram.percentile tot.st_wall 0.95))
+      (ms (Histogram.percentile tot.st_wall 0.99))
+      tot.st_oracle_calls
+      (ms tot.st_oracle_seconds)
+      (float_of_int tot.st_bytes /. 1024.)
+  end;
+  if t.bad_lines > 0 then
+    line "(%d unparseable line%s skipped)" t.bad_lines
+      (if t.bad_lines = 1 then "" else "s");
+  Buffer.contents b

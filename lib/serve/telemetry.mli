@@ -1,0 +1,81 @@
+(** Per-process serving telemetry: the bounded ring of recent request
+    profiles behind [GET /v1/debug/requests], rolling 1m/5m SLO windows
+    exported as gauges, and the optional JSONL access log.
+
+    The server calls {!record} once per answered request (after the
+    response is on the wire); the API layer reads {!profiles} /
+    {!find} and calls {!set_slo_gauges} before each /metrics render. *)
+
+type profile = {
+  p_id : string;  (** the request id every scoped event carries *)
+  p_trace_id : string;
+  p_route : string;  (** route pattern (bounded cardinality) *)
+  p_meth : string;
+  p_path : string;  (** concrete decoded path *)
+  p_status : int;
+  p_start : float;  (** epoch seconds at request parse *)
+  p_wall_seconds : float;
+  p_queue_seconds : float;
+      (** accept-to-worker delay (first request of a connection) *)
+  p_oracle_calls : int;
+  p_oracle_seconds : float;
+  p_bytes : int;  (** response body bytes *)
+  p_jobs : int;
+  p_events : Trace.event list;  (** the request's scoped buffer *)
+  p_events_dropped : int;
+}
+
+type t
+
+val default_ring : int
+(** 64 profiles. *)
+
+(** [create ()] — [ring] bounds the profile ring ([0] disables it);
+    [access] attaches an access log; [now] overrides the start stamp
+    (tests). *)
+val create : ?ring:int -> ?access:Access_log.t -> ?now:float -> unit -> t
+
+(** Start stamp — the [/healthz] uptime base. *)
+val started : t -> float
+
+val access_log : t -> Access_log.t option
+
+(** Record a completed request: SLO windows, profile ring, access-log
+    line. *)
+val record : ?now:float -> t -> profile -> unit
+
+(** Ring contents, newest first. *)
+val profiles : t -> profile list
+
+(** Lookup by request id (newest match; [None] once evicted). *)
+val find : t -> string -> profile option
+
+(** Profiles ever recorded (≥ ring occupancy). *)
+val recorded : t -> int
+
+(** {1 JSON shapes} *)
+
+(** The access-log line: one flat object ([ts], [id], [trace],
+    [method], [route], [path], [code], [bytes], [wall_seconds],
+    [queue_seconds], [oracle_seconds], [oracle_calls], [jobs]). *)
+val access_line : profile -> Tiny_json.t
+
+(** {!access_line} fields plus the stored event count. *)
+val summary_json : profile -> Tiny_json.t
+
+(** Full profile: scalars plus [events_dropped] and the event list
+    (each via {!Trace_export.event_to_json}, so they round-trip through
+    {!Trace_export.event_of_json}). *)
+val profile_json : profile -> Tiny_json.t
+
+(** {1 SLO export} *)
+
+(** Set [http_slo_error_ratio{window}],
+    [http_slo_window_requests{window}] and
+    [http_slo_latency_seconds{window,quantile}] gauges (windows [1m] /
+    [5m]; quantiles 0.5/0.95/0.99; empty-window latency exports 0) in
+    [registry] (default {!Metrics.default}). *)
+val set_slo_gauges : ?now:float -> ?registry:Metrics.registry -> t -> unit
+
+val slo_1m : t -> Sliding.t
+val slo_5m : t -> Sliding.t

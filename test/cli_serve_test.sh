@@ -24,7 +24,7 @@ row R2 2
 query R1(x), R2(x)
 EOF
 
-"$exe" serve --port 0 --read-timeout 5 serve_demo.db > serve.log 2>&1 &
+"$exe" serve --port 0 --read-timeout 5 --access-log access.jsonl serve_demo.db > serve.log 2>&1 &
 srv=$!
 trap 'kill -9 $srv 2>/dev/null || true' EXIT
 
@@ -37,10 +37,17 @@ for _ in $(seq 1 100); do
 done
 [ -n "$port" ] || fail "server did not announce a port: $(cat serve.log)"
 
-# healthz
+# healthz, including the observability fields
 out=$("$probe" 127.0.0.1 "$port" GET /healthz)
 grep -q "HTTP/1.1 200" <<<"$out" || fail "healthz not 200: $out"
 grep -q '"status":"ok"' <<<"$out" || fail "healthz body wrong: $out"
+grep -q '"version":' <<<"$out" || fail "healthz version missing: $out"
+grep -q '"pid":' <<<"$out" || fail "healthz pid missing: $out"
+grep -q '"uptime_seconds":' <<<"$out" || fail "healthz uptime missing: $out"
+
+# every response carries correlation headers
+grep -qi "x-request-id:" <<<"$out" || fail "X-Request-Id header missing: $out"
+grep -qi "traceparent: 00-" <<<"$out" || fail "traceparent header missing: $out"
 
 # the query catalog carries the loaded file under its basename
 out=$("$probe" 127.0.0.1 "$port" GET /v1/queries)
@@ -72,15 +79,35 @@ head -c 1048577 /dev/zero | tr '\0' 'x' > bigbody.txt
 out=$("$probe" 127.0.0.1 "$port" POST /v1/shapley @bigbody.txt)
 grep -q "HTTP/1.1 413" <<<"$out" || fail "oversized body not 413: $out"
 
-# metrics: OpenMetrics exposition with the http series
+# metrics: OpenMetrics exposition with the http and rolling SLO series
 out=$("$probe" 127.0.0.1 "$port" GET /metrics)
 grep -q "shapmc_http_requests_total" <<<"$out" || fail "http_requests missing from /metrics: $out"
+grep -q "shapmc_http_slo_error_ratio" <<<"$out" || fail "SLO series missing from /metrics: $out"
 grep -q "# EOF" <<<"$out" || fail "OpenMetrics terminator missing"
+
+# debug ring: the recent requests are listed, and a profile is servable
+out=$("$probe" 127.0.0.1 "$port" GET /v1/debug/requests)
+grep -q "HTTP/1.1 200" <<<"$out" || fail "debug listing not 200: $out"
+grep -q '"requests":' <<<"$out" || fail "debug listing body wrong: $out"
+rid=$(grep -o '"id":"[^"]*"' <<<"$out" | head -1 | sed 's/"id":"\(.*\)"/\1/')
+[ -n "$rid" ] || fail "no request id in the debug listing: $out"
+out=$("$probe" 127.0.0.1 "$port" GET "/v1/debug/requests/$rid")
+grep -q '"events":' <<<"$out" || fail "debug profile body wrong: $out"
+out=$("$probe" 127.0.0.1 "$port" GET "/v1/debug/requests/$rid?format=chrome")
+grep -q '"traceEvents":' <<<"$out" || fail "chrome export body wrong: $out"
 
 # graceful shutdown: SIGTERM drains and exits 0
 kill -TERM $srv
 if ! wait $srv; then fail "server exited nonzero on SIGTERM"; fi
 grep -q "shut down cleanly" serve.log || fail "no clean-shutdown line: $(cat serve.log)"
+
+# the access log has one JSON line per request, and `shapmc tail --once`
+# summarizes it
+[ -s access.jsonl ] || fail "access log empty or missing"
+head -1 access.jsonl | grep -q '"route":' || fail "access log line malformed: $(head -1 access.jsonl)"
+tail_out=$("$exe" tail --once access.jsonl)
+grep -q "TOTAL" <<<"$tail_out" || fail "tail --once has no TOTAL row: $tail_out"
+grep -q "/healthz" <<<"$tail_out" || fail "tail --once misses the healthz route: $tail_out"
 
 # the port is released: an immediate restart on the SAME port binds
 "$exe" serve --port "$port" serve_demo.db > serve2.log 2>&1 &

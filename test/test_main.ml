@@ -18,6 +18,7 @@ let () =
       ("negation", Test_negation.suite);
       ("cnf-compiler", Test_compile_cnf.suite);
       ("obs", Test_obs.suite);
+      ("scope", Test_scope.suite);
       ("metrics", Test_metrics.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);

@@ -1,0 +1,273 @@
+(** Request-scoped observability: the {!Scope} buffer and its
+    propagation across the fan-out seams.
+
+    - Scope capture is independent of the global [Obs] switch, and
+      never leaks into the global ledgers/stream.
+    - The event buffer is bounded; oracle aggregates stay exact past
+      the cap.
+    - Installation nests and restores, also across raises.
+    - [Par.map] and [Pool.Exec.submit] re-install both the caller's
+      span context and its scope in the worker domains (the
+      [Pool.Exec] half is the regression test for workers previously
+      dropping the caller's context). *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let req_attr (e : Trace.event) =
+  match List.assoc_opt "req" e.Trace.attrs with
+  | Some (Trace.Str id) -> Some id
+  | _ -> None
+
+(* Every test here must leave the global switch off and the ledgers
+   clean, whatever it toggled. *)
+let with_clean_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      Obs.disable ();
+      Obs.reset ();
+      f ())
+
+let scope_captures_while_obs_disabled () =
+  with_clean_obs (fun () ->
+      let sc = Scope.create ~id:"req-1" () in
+      Alcotest.(check bool) "inactive before install" false (Scope.active ());
+      Scope.with_scope sc (fun () ->
+          Alcotest.(check bool) "active inside" true (Scope.active ());
+          Obs.with_span "work" (fun () ->
+              Obs.record ~oracle:"dpll" ~n:3 ~seconds:0.25 ();
+              Obs.incr "oracle_hits");
+          Obs.phase "done");
+      Alcotest.(check bool) "inactive after" false (Scope.active ());
+      (* captured: span begin/end + oracle + counter + phase *)
+      let events = Scope.events sc in
+      Alcotest.(check int) "five events stored" 5 (List.length events);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "req attr on every event"
+            (Some "req-1") (req_attr e))
+        events;
+      let kinds = List.map (fun e -> Trace.kind_name e.Trace.kind) events in
+      Alcotest.(check (list string)) "event kinds in order"
+        [ "span_begin"; "oracle"; "counter"; "span_end"; "phase" ]
+        kinds;
+      Alcotest.(check int) "oracle calls aggregated" 1 (Scope.oracle_calls sc);
+      Alcotest.(check (float 1e-9)) "oracle seconds aggregated" 0.25
+        (Scope.oracle_seconds sc);
+      (* ...and none of it reached the global side *)
+      Alcotest.(check int) "global ledger untouched" 0 (Obs.call_count ());
+      Alcotest.(check int) "global counters untouched" 0
+        (Obs.counter "oracle_hits");
+      Alcotest.(check (list string)) "global spans untouched" []
+        (List.map (fun s -> s.Obs.span_path) (Obs.spans ())))
+
+let scope_cap_bounds_events_not_aggregates () =
+  with_clean_obs (fun () ->
+      let sc = Scope.create ~cap:2 ~id:"capped" () in
+      Scope.with_scope sc (fun () ->
+          for i = 1 to 5 do
+            Obs.record ~oracle:"mc" ~n:i ~seconds:0.1 ()
+          done);
+      Alcotest.(check int) "stored at cap" 2 (Scope.stored sc);
+      Alcotest.(check int) "overflow counted" 3 (Scope.dropped sc);
+      Alcotest.(check int) "emitted = stored + dropped" 5 (Scope.emitted sc);
+      Alcotest.(check int) "aggregates exact past the cap" 5
+        (Scope.oracle_calls sc);
+      Alcotest.(check (float 1e-9)) "seconds exact past the cap" 0.5
+        (Scope.oracle_seconds sc);
+      (* cap 0: pure aggregation *)
+      let sc0 = Scope.create ~cap:0 ~id:"agg-only" () in
+      Scope.with_scope sc0 (fun () ->
+          Obs.record ~oracle:"mc" ~n:1 ~seconds:0.125 ());
+      Alcotest.(check int) "cap 0 stores nothing" 0 (Scope.stored sc0);
+      Alcotest.(check int) "cap 0 still aggregates" 1 (Scope.oracle_calls sc0))
+
+let scope_nesting_restores () =
+  with_clean_obs (fun () ->
+      let outer = Scope.create ~id:"outer" () in
+      let inner = Scope.create ~id:"inner" () in
+      Scope.with_scope outer (fun () ->
+          Obs.phase "before";
+          Scope.with_scope inner (fun () ->
+              Obs.phase "nested";
+              Alcotest.(check (option string)) "inner installed"
+                (Some "inner")
+                (Option.map Scope.id (Scope.current ())));
+          Alcotest.(check (option string)) "outer restored" (Some "outer")
+            (Option.map Scope.id (Scope.current ()));
+          Obs.phase "after");
+      Alcotest.(check (option string)) "uninstalled at the end" None
+        (Option.map Scope.id (Scope.current ()));
+      Alcotest.(check (list string)) "outer saw only its own phases"
+        [ "before"; "after" ]
+        (List.map (fun e -> e.Trace.name) (Scope.events outer));
+      Alcotest.(check (list string)) "inner saw only the nested phase"
+        [ "nested" ]
+        (List.map (fun e -> e.Trace.name) (Scope.events inner));
+      (* a raising body still restores *)
+      (try
+         Scope.with_scope outer (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "restored after raise" false (Scope.active ()))
+
+let scope_span_depths () =
+  with_clean_obs (fun () ->
+      let sc = Scope.create ~id:"depths" () in
+      Scope.with_scope sc (fun () ->
+          Obs.with_span "a" (fun () -> Obs.with_span "b" (fun () -> ())));
+      let depth_of name kind =
+        match
+          List.find_opt
+            (fun e -> e.Trace.name = name && e.Trace.kind = kind)
+            (Scope.events sc)
+        with
+        | Some e -> e.Trace.depth
+        | None -> Alcotest.failf "no %s event for span %s"
+                    (Trace.kind_name kind) name
+      in
+      Alcotest.(check int) "outer begin at 0" 0 (depth_of "a" Trace.Span_begin);
+      Alcotest.(check int) "inner begin at 1" 1 (depth_of "b" Trace.Span_begin);
+      Alcotest.(check int) "inner end at its begin depth" 1
+        (depth_of "b" Trace.Span_end);
+      Alcotest.(check int) "outer end at its begin depth" 0
+        (depth_of "a" Trace.Span_end))
+
+let scope_and_enabled_coexist () =
+  with_clean_obs (fun () ->
+      Obs.enable ();
+      let sc = Scope.create ~id:"both" () in
+      Scope.with_scope sc (fun () ->
+          Obs.with_span "stage" (fun () ->
+              Obs.record ~oracle:"dpll" ~n:4 ~seconds:0.5 ()));
+      (* both sides observed the same work *)
+      Alcotest.(check int) "global ledger got the call" 1 (Obs.call_count ());
+      Alcotest.(check int) "scope got the call" 1 (Scope.oracle_calls sc);
+      Alcotest.(check (list string)) "global span aggregated" [ "stage" ]
+        (List.map (fun s -> s.Obs.span_path) (Obs.spans ()));
+      (* work done outside the scope stays out of it *)
+      Obs.record ~oracle:"dpll" ~n:4 ~seconds:0.5 ();
+      Alcotest.(check int) "global sees both calls" 2 (Obs.call_count ());
+      Alcotest.(check int) "scope still sees one" 1 (Scope.oracle_calls sc))
+
+let par_map_propagates_scope () =
+  with_clean_obs (fun () ->
+      let saved = Par.jobs () in
+      Fun.protect
+        ~finally:(fun () -> Par.set_jobs saved)
+        (fun () ->
+          Par.set_jobs 4;
+          let sc = Scope.create ~id:"fanout" () in
+          let out =
+            Scope.with_scope sc (fun () ->
+                Par.map
+                  (fun i ->
+                    Obs.record ~oracle:"worker" ~n:i ~seconds:0.01 ();
+                    i * i)
+                  (Array.init 16 (fun i -> i)))
+          in
+          Alcotest.(check (array int)) "map result"
+            (Array.init 16 (fun i -> i * i))
+            out;
+          Alcotest.(check int) "every worker call landed in the scope" 16
+            (Scope.oracle_calls sc);
+          let oracle_events =
+            List.filter
+              (fun e -> e.Trace.kind = Trace.Oracle)
+              (Scope.events sc)
+          in
+          Alcotest.(check int) "all oracle events stored" 16
+            (List.length oracle_events);
+          List.iter
+            (fun e ->
+              Alcotest.(check (option string)) "req attr across domains"
+                (Some "fanout") (req_attr e))
+            oracle_events))
+
+(* Regression (the satellite fix): Pool.Exec workers used to run tasks
+   with an empty span stack and no scope, so server-side oracle work
+   neither nested under the submitting request's span path nor reached
+   its per-request buffer. *)
+let exec_submit_propagates_context_and_scope () =
+  with_clean_obs (fun () ->
+      Obs.enable ();
+      let sc = Scope.create ~id:"submitter" () in
+      let ex = Pool.Exec.create ~jobs:2 in
+      Scope.with_scope sc (fun () ->
+          Obs.with_span "caller" (fun () ->
+              Alcotest.(check bool) "submit accepted" true
+                (Pool.Exec.submit ex (fun () ->
+                     Obs.with_span "worker" (fun () ->
+                         Obs.record ~oracle:"dpll" ~n:2 ~seconds:0.125 ())))));
+      Alcotest.(check bool) "drained" true (Pool.Exec.shutdown ex);
+      let paths = List.map (fun s -> s.Obs.span_path) (Obs.spans ()) in
+      Alcotest.(check bool) "worker span nests under the caller's path" true
+        (List.mem "caller/worker" paths);
+      Alcotest.(check int) "oracle call reached the submitter's scope" 1
+        (Scope.oracle_calls sc);
+      let names = List.map (fun e -> e.Trace.name) (Scope.events sc) in
+      Alcotest.(check bool) "worker span captured by the scope" true
+        (List.mem "worker" names);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option string)) "req attr from the worker domain"
+            (Some "submitter") (req_attr e))
+        (Scope.events sc))
+
+let exec_submit_without_context_is_bare () =
+  with_clean_obs (fun () ->
+      let ex = Pool.Exec.create ~jobs:2 in
+      let saw_scope = Atomic.make true in
+      ignore
+        (Pool.Exec.submit ex (fun () ->
+             Atomic.set saw_scope (Scope.current () <> None)));
+      Alcotest.(check bool) "drained" true (Pool.Exec.shutdown ex);
+      Alcotest.(check bool) "no phantom scope in workers" false
+        (Atomic.get saw_scope))
+
+let concurrent_emission_into_one_scope () =
+  with_clean_obs (fun () ->
+      let sc = Scope.create ~id:"shared" () in
+      let domains = 4 and per_domain = 200 in
+      let workers =
+        Array.init domains (fun d ->
+            Domain.spawn (fun () ->
+                Scope.with_current (Some sc) (fun () ->
+                    for i = 1 to per_domain do
+                      Obs.record ~oracle:"mc" ~n:((d * per_domain) + i)
+                        ~seconds:0.001 ()
+                    done)))
+      in
+      Array.iter Domain.join workers;
+      Alcotest.(check int) "no emission lost under contention"
+        (domains * per_domain)
+        (Scope.oracle_calls sc);
+      Alcotest.(check int) "stored + dropped accounts for everything"
+        (domains * per_domain)
+        (Scope.stored sc + Scope.dropped sc);
+      (* sequence numbers are unique and dense over stored events *)
+      let seqs =
+        List.sort compare
+          (List.map (fun e -> e.Trace.seq) (Scope.events sc))
+      in
+      let distinct = List.sort_uniq compare seqs in
+      Alcotest.(check int) "seq numbers distinct" (List.length seqs)
+        (List.length distinct))
+
+let suite =
+  [ t "scope: captures with global obs disabled"
+      scope_captures_while_obs_disabled;
+    t "scope: cap bounds events, not aggregates"
+      scope_cap_bounds_events_not_aggregates;
+    t "scope: nesting installs and restores" scope_nesting_restores;
+    t "scope: span depths match begin/end pairs" scope_span_depths;
+    t "scope: coexists with the global switch" scope_and_enabled_coexist;
+    t "scope: Par.map propagates into worker domains"
+      par_map_propagates_scope;
+    t "scope: Pool.Exec.submit re-installs context and scope (regression)"
+      exec_submit_propagates_context_and_scope;
+    t "scope: bare submits see no phantom scope"
+      exec_submit_without_context_is_bare;
+    t "scope: concurrent emission into one scope is lossless"
+      concurrent_emission_into_one_scope ]

@@ -25,6 +25,10 @@ module Limits = Shapmc_serve.Limits
 module Json_codec = Shapmc_serve.Json_codec
 module Api = Shapmc_serve.Api
 module Server = Shapmc_serve.Server
+module Request_id = Shapmc_serve.Request_id
+module Access_log = Shapmc_serve.Access_log
+module Telemetry = Shapmc_serve.Telemetry
+module Tail = Shapmc_serve.Tail
 module J = Tiny_json
 
 let t name f = Alcotest.test_case name `Quick f
@@ -823,13 +827,15 @@ module Client = struct
       (fun () -> request c ?headers ?body meth path)
 end
 
-let with_server ?(jobs = 1) ?(limits = Limits.default) ?(port = 0) routes f =
+let with_server ?(jobs = 1) ?(limits = Limits.default) ?(port = 0) ?telemetry
+    routes f =
   let config =
     { Server.default_config with
       Server.port;
       Server.jobs;
       Server.limits;
-      Server.drain_deadline = 5. }
+      Server.drain_deadline = 5.;
+      Server.telemetry }
   in
   let srv = Server.create ~config routes in
   Server.start srv;
@@ -1149,6 +1155,649 @@ let limits_from_env () =
     Limits.default.Limits.read_timeout l.Limits.read_timeout
 
 (* ------------------------------------------------------------------ *)
+(* Request identity                                                    *)
+
+let request_id_traceparent_parse () =
+  let tid = "4bf92f3577b34da6a3ce929d0e0e4736" in
+  let sid = "00f067aa0ba902b7" in
+  Alcotest.(check (option (pair string string)))
+    "valid traceparent parses"
+    (Some (tid, sid))
+    (Request_id.parse_traceparent
+       (Printf.sprintf "00-%s-%s-01" tid sid));
+  let rejected s =
+    Alcotest.(check (option (pair string string)))
+      ("rejected: " ^ s) None
+      (Request_id.parse_traceparent s)
+  in
+  rejected "";
+  rejected "garbage";
+  rejected (Printf.sprintf "ff-%s-%s-01" tid sid);  (* forbidden version *)
+  rejected (Printf.sprintf "00-%s-%s-01" (String.uppercase_ascii tid) sid);
+  rejected (Printf.sprintf "00-%s-%s-01" (String.make 32 '0') sid);
+  rejected (Printf.sprintf "00-%s-%s-01" tid (String.make 16 '0'));
+  rejected (Printf.sprintf "00-%s-%s-01" (String.sub tid 0 31) sid);
+  rejected (Printf.sprintf "00-%s-%s" tid sid)
+
+let is_hex s =
+  String.for_all
+    (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+    s
+
+let request_id_generation () =
+  let r = Request_id.make () in
+  Alcotest.(check int) "fresh trace id is 32 hex" 32
+    (String.length (Request_id.trace_id r));
+  Alcotest.(check bool) "trace id lowercase hex" true
+    (is_hex (Request_id.trace_id r));
+  Alcotest.(check int) "span id is 16 hex" 16
+    (String.length (Request_id.span_id r));
+  Alcotest.(check string) "headerless id equals the trace id"
+    (Request_id.trace_id r) (Request_id.id r);
+  Alcotest.(check (option string)) "no parent span" None
+    (Request_id.parent_span r);
+  Alcotest.(check string) "traceparent rendering"
+    (Printf.sprintf "00-%s-%s-01" (Request_id.trace_id r)
+       (Request_id.span_id r))
+    (Request_id.traceparent r);
+  let r2 = Request_id.make () in
+  Alcotest.(check bool) "fresh ids are distinct" true
+    (Request_id.id r <> Request_id.id r2)
+
+let request_id_honors_headers () =
+  let tid = "4bf92f3577b34da6a3ce929d0e0e4736" in
+  let sid = "00f067aa0ba902b7" in
+  let tp = Printf.sprintf "00-%s-%s-01" tid sid in
+  let r = Request_id.make ~request_id:"client-7" ~traceparent:tp () in
+  Alcotest.(check string) "client id honored" "client-7" (Request_id.id r);
+  Alcotest.(check string) "trace id continued" tid (Request_id.trace_id r);
+  Alcotest.(check (option string)) "parent span kept" (Some sid)
+    (Request_id.parent_span r);
+  Alcotest.(check bool) "fresh span id minted" true
+    (Request_id.span_id r <> sid);
+  (* malformed inputs are replaced, not propagated *)
+  Alcotest.(check bool) "bad X-Request-Id rejected" false
+    (Request_id.valid_id "spaces are invalid");
+  Alcotest.(check bool) "overlong id rejected" false
+    (Request_id.valid_id (String.make 65 'a'));
+  Alcotest.(check bool) "plain token accepted" true
+    (Request_id.valid_id "req_1.a-b");
+  let r = Request_id.make ~request_id:"bad id" ~traceparent:"nope" () in
+  Alcotest.(check string) "fallback id is the fresh trace id"
+    (Request_id.trace_id r) (Request_id.id r);
+  (* the request-facing constructor reads the actual headers *)
+  let req =
+    req_of_string
+      (Printf.sprintf
+         "GET / HTTP/1.1\r\nX-Request-Id: abc\r\ntraceparent: %s\r\n\r\n" tp)
+  in
+  let r = Request_id.of_request req in
+  Alcotest.(check string) "of_request id" "abc" (Request_id.id r);
+  Alcotest.(check string) "of_request trace id" tid (Request_id.trace_id r);
+  let hdrs = Request_id.response_headers r in
+  Alcotest.(check (option string)) "response echoes the id" (Some "abc")
+    (List.assoc_opt "X-Request-Id" hdrs);
+  Alcotest.(check (option string)) "response carries a traceparent"
+    (Some (Request_id.traceparent r))
+    (List.assoc_opt "traceparent" hdrs)
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized routes                                                *)
+
+let router_param_matching () =
+  Alcotest.(check (option (list (pair string string))))
+    "param segment binds"
+    (Some [ ("id", "abc-123") ])
+    (Router.match_path ~pattern:"/v1/debug/requests/:id"
+       "/v1/debug/requests/abc-123");
+  Alcotest.(check (option (list (pair string string))))
+    "fixed pattern binds nothing" (Some [])
+    (Router.match_path ~pattern:"/healthz" "/healthz");
+  let no_match pattern path =
+    Alcotest.(check (option (list (pair string string))))
+      (Printf.sprintf "%s !~ %s" path pattern)
+      None
+      (Router.match_path ~pattern path)
+  in
+  no_match "/v1/debug/requests/:id" "/v1/debug/requests";
+  no_match "/v1/debug/requests/:id" "/v1/debug/requests/";
+  no_match "/v1/debug/requests/:id" "/v1/debug/requests/a/b";
+  no_match "/healthz" "/healthz/x"
+
+let router_param_dispatch () =
+  let routes =
+    [ Router.route Http.GET "/things/special" (fun _ ->
+          { Router.status = 200; headers = []; body = "fixed" });
+      Router.route_params Http.GET "/things/:name" (fun params _ ->
+          { Router.status = 200;
+            headers = [];
+            body = List.assoc "name" params }) ]
+  in
+  let dispatch path =
+    Router.dispatch routes
+      (req_of_string (Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" path))
+  in
+  let label, r = dispatch "/things/widget" in
+  Alcotest.(check int) "param route matches" 200 (status r);
+  Alcotest.(check string) "binding reaches the handler" "widget"
+    r.Router.body;
+  Alcotest.(check string) "label is the pattern, not the path"
+    "/things/:name" label;
+  let _, r = dispatch "/things/special" in
+  Alcotest.(check string) "fixed path shadows the param route" "fixed"
+    r.Router.body;
+  let label, r = dispatch "/things" in
+  Alcotest.(check int) "missing segment is 404" 404 (status r);
+  Alcotest.(check string) "unmatched label" "unmatched" label;
+  let _, r =
+    Router.dispatch routes
+      (req_of_string
+         "POST /things/widget HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+  in
+  Alcotest.(check int) "wrong method on a param route is 405" 405 (status r);
+  Alcotest.(check bool) "405 advertises Allow" true
+    (List.mem_assoc "Allow" r.Router.headers)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: profiles, access log, SLO windows, tail                  *)
+
+let fake_event ~seq ~req name =
+  { Trace.seq;
+    at = 0.001 *. float_of_int seq;
+    depth = 0;
+    kind = Trace.Oracle;
+    name;
+    dur = Some 0.002;
+    attrs = [ ("req", Trace.Str req); ("n", Trace.Int seq) ] }
+
+let fake_profile ?(events = []) ?(status = 200) ?(wall = 0.01) ~id ~route () =
+  { Telemetry.p_id = id;
+    p_trace_id = String.make 32 'a';
+    p_route = route;
+    p_meth = "GET";
+    p_path = route;
+    p_status = status;
+    p_start = 1000.;
+    p_wall_seconds = wall;
+    p_queue_seconds = 0.001;
+    p_oracle_calls = List.length events;
+    p_oracle_seconds = 0.002 *. float_of_int (List.length events);
+    p_bytes = 42;
+    p_jobs = 1;
+    p_events = events;
+    p_events_dropped = 0 }
+
+let telemetry_ring_and_lookup () =
+  let tel = Telemetry.create ~ring:3 ~now:0. () in
+  for i = 1 to 5 do
+    Telemetry.record ~now:(float_of_int i) tel
+      (fake_profile ~id:(Printf.sprintf "r%d" i) ~route:"/x" ())
+  done;
+  Alcotest.(check int) "recorded counts everything" 5
+    (Telemetry.recorded tel);
+  Alcotest.(check (list string)) "ring keeps the newest, newest first"
+    [ "r5"; "r4"; "r3" ]
+    (List.map (fun p -> p.Telemetry.p_id) (Telemetry.profiles tel));
+  Alcotest.(check bool) "find hits a live id" true
+    (Telemetry.find tel "r4" <> None);
+  Alcotest.(check bool) "evicted id is gone" true
+    (Telemetry.find tel "r1" = None);
+  let tel0 = Telemetry.create ~ring:0 ~now:0. () in
+  Telemetry.record ~now:1. tel0 (fake_profile ~id:"x" ~route:"/x" ());
+  Alcotest.(check (list string)) "ring 0 stores nothing" []
+    (List.map (fun p -> p.Telemetry.p_id) (Telemetry.profiles tel0));
+  Alcotest.(check int) "ring 0 still counts" 1 (Telemetry.recorded tel0)
+
+let access_log_rotation_and_roundtrip () =
+  let path = Filename.temp_file "shapmc_access" ".jsonl" in
+  let line_of i =
+    Telemetry.access_line
+      (fake_profile ~id:(Printf.sprintf "req-%02d" i) ~route:"/v1/shapley" ())
+  in
+  (* fixed-width ids → identical line lengths; cap at 7 lines so 12
+     writes rotate exactly once (a second rotation would overwrite the
+     single .1 file — that bounded-disk behavior is the design) *)
+  let line_len = String.length (J.to_string (line_of 1)) + 1 in
+  let max_bytes = 7 * line_len in
+  let al = Access_log.open_ ~max_bytes path in
+  let lines_written = 12 in
+  for i = 1 to lines_written do
+    Access_log.write al (line_of i)
+  done;
+  Access_log.close al;
+  Access_log.close al;  (* idempotent *)
+  let rotated = Access_log.rotated_path path in
+  Alcotest.(check bool) "rotation happened" true (Sys.file_exists rotated);
+  let read_lines p =
+    let ic = open_in p in
+    let rec go acc =
+      match input_line ic with
+      | l -> go (l :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+  in
+  let all = read_lines rotated @ read_lines path in
+  Alcotest.(check int) "no line lost across rotation" lines_written
+    (List.length all);
+  Alcotest.(check bool) "active file is bounded" true
+    ((Unix.stat path).Unix.st_size <= max_bytes);
+  List.iteri
+    (fun i line ->
+      match J.parse_opt line with
+      | Some (J.Obj _ as j) ->
+        Alcotest.(check string)
+          (Printf.sprintf "line %d id" i)
+          (Printf.sprintf "req-%02d" (i + 1))
+          (str_exn (member_exn "id" j));
+        (* round-trip: parse → print → parse is stable *)
+        Alcotest.(check bool)
+          (Printf.sprintf "line %d reprints stably" i)
+          true
+          (J.parse (J.to_string j) = j)
+      | _ -> Alcotest.failf "unparseable access-log line: %s" line)
+    all;
+  Sys.remove path;
+  Sys.remove rotated
+
+let sliding_window_rolls () =
+  (try
+     ignore (Sliding.create ~window:0. ());
+     Alcotest.fail "window 0 must be rejected"
+   with Invalid_argument _ -> ());
+  let w = Sliding.create ~window:60. () in
+  let empty = Sliding.snapshot ~now:5. w in
+  Alcotest.(check int) "empty window: no requests" 0 empty.Sliding.w_requests;
+  Alcotest.(check (float 0.)) "empty window: ratio 0" 0.
+    empty.Sliding.w_error_ratio;
+  Alcotest.(check bool) "empty window: nan percentiles" true
+    (Float.is_nan empty.Sliding.w_p50);
+  Sliding.observe ~now:10. w ~ok:true 0.1;
+  Sliding.observe ~now:20. w ~ok:true 0.1;
+  Sliding.observe ~now:30. w ~ok:false 0.4;
+  Sliding.observe ~now:40. w ~ok:false 0.4;
+  let s = Sliding.snapshot ~now:45. w in
+  Alcotest.(check int) "all four inside the window" 4 s.Sliding.w_requests;
+  Alcotest.(check int) "errors counted" 2 s.Sliding.w_errors;
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 s.Sliding.w_error_ratio;
+  Alcotest.(check bool) "percentiles ordered" true
+    (s.Sliding.w_p50 <= s.Sliding.w_p95 && s.Sliding.w_p95 <= s.Sliding.w_p99);
+  Alcotest.(check bool) "p50 in the data range" true
+    (s.Sliding.w_p50 > 0. && s.Sliding.w_p50 < 0.5);
+  (* the early observations age out, late ones survive *)
+  let s = Sliding.snapshot ~now:75. w in
+  Alcotest.(check bool) "old observations aged out" true
+    (s.Sliding.w_requests < 4 && s.Sliding.w_requests >= 1);
+  (* far in the future everything is gone *)
+  let s = Sliding.snapshot ~now:500. w in
+  Alcotest.(check int) "window fully drained" 0 s.Sliding.w_requests;
+  (* and the ring accepts new epochs after the gap *)
+  Sliding.observe ~now:501. w ~ok:true 0.2;
+  let s = Sliding.snapshot ~now:502. w in
+  Alcotest.(check int) "ring reusable after a gap" 1 s.Sliding.w_requests
+
+let telemetry_slo_gauges () =
+  let reg = Metrics.create () in
+  let tel = Telemetry.create ~ring:4 ~now:0. () in
+  Telemetry.record ~now:10. tel
+    (fake_profile ~id:"ok1" ~route:"/x" ~wall:0.1 ());
+  Telemetry.record ~now:11. tel
+    (fake_profile ~id:"ok2" ~route:"/x" ~wall:0.1 ());
+  Telemetry.record ~now:12. tel
+    (fake_profile ~id:"boom" ~route:"/x" ~status:500 ~wall:0.1 ());
+  (* a 4xx is the client's problem, not an SLO violation *)
+  Telemetry.record ~now:13. tel
+    (fake_profile ~id:"not-found" ~route:"/x" ~status:404 ~wall:0.1 ());
+  Telemetry.set_slo_gauges ~now:20. ~registry:reg tel;
+  let gauge ?labels name =
+    match Metrics.gauge_value ~registry:reg ?labels name with
+    | Some v -> v
+    | None -> Alcotest.failf "gauge %s missing" name
+  in
+  Alcotest.(check (float 1e-9)) "1m error ratio counts only 5xx" 0.25
+    (gauge ~labels:[ ("window", "1m") ] "http_slo_error_ratio");
+  Alcotest.(check (float 1e-9)) "1m request count" 4.
+    (gauge ~labels:[ ("window", "1m") ] "http_slo_window_requests");
+  Alcotest.(check (float 1e-9)) "5m sees the same traffic" 4.
+    (gauge ~labels:[ ("window", "5m") ] "http_slo_window_requests");
+  Alcotest.(check bool) "p95 gauge positive" true
+    (gauge ~labels:[ ("quantile", "0.95"); ("window", "1m") ]
+       "http_slo_latency_seconds"
+     > 0.);
+  (* empty window: ratio and latency settle to 0, never NaN *)
+  Telemetry.set_slo_gauges ~now:10_000. ~registry:reg tel;
+  Alcotest.(check (float 0.)) "drained ratio is 0" 0.
+    (gauge ~labels:[ ("window", "1m") ] "http_slo_error_ratio");
+  Alcotest.(check (float 0.)) "drained latency is 0, not NaN" 0.
+    (gauge ~labels:[ ("quantile", "0.5"); ("window", "1m") ]
+       "http_slo_latency_seconds");
+  let exposition = Metrics.to_openmetrics ~registry:reg () in
+  Alcotest.(check bool) "exposition parses back" true
+    (Metrics.parse_openmetrics exposition <> [])
+
+let tail_aggregation () =
+  let t = Tail.create () in
+  let line profile = J.to_string (Telemetry.access_line profile) in
+  let l1 = line (fake_profile ~id:"a1" ~route:"/v1/shapley" ()) in
+  let l2 = line (fake_profile ~id:"a2" ~route:"/v1/shapley" ~status:503 ()) in
+  let l3 = line (fake_profile ~id:"b1" ~route:"/healthz" ~status:404 ()) in
+  (* feed in chunks that split l2 mid-line: the carry must reassemble *)
+  let whole = l1 ^ "\n" ^ l2 ^ "\n" in
+  let cut = String.length l1 + 1 + (String.length l2 / 2) in
+  Tail.feed t (String.sub whole 0 cut);
+  Tail.feed t (String.sub whole cut (String.length whole - cut));
+  Tail.feed t "this is not json\n";
+  Tail.feed t l3;  (* unterminated — only finish flushes it *)
+  Alcotest.(check int) "unterminated line not yet counted" 3 (Tail.lines t);
+  Tail.finish t;
+  Alcotest.(check int) "all lines consumed" 4 (Tail.lines t);
+  Alcotest.(check int) "bad line counted, not fatal" 1 (Tail.bad_lines t);
+  let rendered = Tail.render t in
+  let contains sub =
+    let n = String.length rendered and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.sub rendered i m = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "route row present" true (contains "/v1/shapley");
+  Alcotest.(check bool) "total row present" true (contains "TOTAL");
+  Alcotest.(check bool) "bad-line footer present" true
+    (contains "1 unparseable line");
+  Alcotest.(check string) "empty tail renders placeholder" "(no requests)\n"
+    (Tail.render (Tail.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* API: health fields and debug endpoints                              *)
+
+let api_healthz_observability_fields () =
+  let tel = Telemetry.create ~ring:4 () in
+  let routes = Api.routes ~telemetry:tel (demo_api ()) in
+  let r = get routes "/healthz" in
+  Alcotest.(check int) "healthz 200" 200 (status r);
+  let j = json_of r in
+  Alcotest.(check string) "version advertised" Api.version
+    (str_exn (member_exn "version" j));
+  Alcotest.(check int) "pid is this process" (Unix.getpid ())
+    (int_exn (member_exn "pid" j));
+  (match J.to_float (member_exn "uptime_seconds" j) with
+   | Some up -> Alcotest.(check bool) "uptime non-negative" true (up >= 0.)
+   | None -> Alcotest.fail "uptime_seconds not a number");
+  (* without telemetry the debug surface does not exist *)
+  let bare = Api.routes (demo_api ()) in
+  Alcotest.(check int) "healthz still works without telemetry" 200
+    (status (get bare "/healthz"));
+  Alcotest.(check int) "no debug route without telemetry" 404
+    (status (get bare "/v1/debug/requests"))
+
+let api_debug_requests () =
+  let tel = Telemetry.create ~ring:4 ~now:0. () in
+  let events =
+    [ fake_event ~seq:0 ~req:"r1" "dpll"; fake_event ~seq:1 ~req:"r1" "dpll" ]
+  in
+  Telemetry.record ~now:5. tel
+    (fake_profile ~id:"r1" ~route:"/v1/shapley" ~events ());
+  Telemetry.record ~now:6. tel (fake_profile ~id:"r2" ~route:"/healthz" ());
+  let routes = Api.routes ~telemetry:tel (demo_api ()) in
+  let r = get routes "/v1/debug/requests" in
+  Alcotest.(check int) "listing 200" 200 (status r);
+  let j = json_of r in
+  Alcotest.(check int) "count" 2 (int_exn (member_exn "count" j));
+  Alcotest.(check int) "recorded" 2 (int_exn (member_exn "recorded" j));
+  let ids =
+    List.map
+      (fun s -> str_exn (member_exn "id" s))
+      (list_exn (member_exn "requests" j))
+  in
+  Alcotest.(check (list string)) "newest first" [ "r2"; "r1" ] ids;
+  let r = get routes "/v1/debug/requests/r1" in
+  Alcotest.(check int) "profile 200" 200 (status r);
+  let j = json_of r in
+  Alcotest.(check string) "profile id" "r1" (str_exn (member_exn "id" j));
+  Alcotest.(check int) "events_dropped" 0
+    (int_exn (member_exn "events_dropped" j));
+  let decoded =
+    List.map Trace_export.event_of_json (list_exn (member_exn "events" j))
+  in
+  Alcotest.(check bool) "events round-trip through the trace codec" true
+    (decoded = events);
+  Alcotest.(check int) "unknown id is 404" 404
+    (status (get routes "/v1/debug/requests/nope"));
+  let r = get routes "/v1/debug/requests/r1?format=chrome" in
+  Alcotest.(check int) "chrome export 200" 200 (status r);
+  Alcotest.(check (option string)) "chrome export is json"
+    (Some "application/json")
+    (List.assoc_opt "Content-Type" r.Router.headers);
+  let trace_events = list_exn (member_exn "traceEvents" (json_of r)) in
+  Alcotest.(check bool) "chrome export has the oracle slices" true
+    (List.length trace_events >= 2);
+  Alcotest.(check int) "unknown format is 400" 400
+    (status (get routes "/v1/debug/requests/r1?format=bogus"))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: isolation, headers, access log, SLO series              *)
+
+(* Six different queries so each client's request does real oracle work
+   (results are memoized per query, so six clients on one query would
+   leave five of them oracle-free). *)
+let multi_query_api n =
+  Api.of_pairs
+    (List.init n (fun i ->
+         ( Printf.sprintf "q%d" i,
+           (page_db (i + 2), Db_parser.parse_query "R(x)") )))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let server_scoped_observability_end_to_end () =
+  Metrics.reset ();
+  let clients = 6 in
+  let log_path = Filename.temp_file "shapmc_e2e_access" ".jsonl" in
+  let access = Access_log.open_ log_path in
+  let tel = Telemetry.create ~ring:32 ~access () in
+  let api = multi_query_api clients in
+  with_server ~jobs:4 ~telemetry:tel (Api.routes ~telemetry:tel api)
+    (fun _ port ->
+      let domains =
+        Array.init clients (fun i ->
+            Domain.spawn (fun () ->
+                let rid = Printf.sprintf "client-%d" i in
+                let st, hdrs, _ =
+                  Client.oneshot port "POST" "/v1/shapley/all"
+                    ~headers:[ ("X-Request-Id", rid) ]
+                    ~body:(Printf.sprintf {|{"query":"q%d"}|} i)
+                in
+                (rid, st, List.assoc_opt "x-request-id" hdrs,
+                 List.assoc_opt "traceparent" hdrs)))
+      in
+      let results = Array.to_list (Array.map Domain.join domains) in
+      List.iter
+        (fun (rid, st, echoed, tp) ->
+          Alcotest.(check int) (rid ^ " status") 200 st;
+          Alcotest.(check (option string)) (rid ^ " echoed id") (Some rid)
+            echoed;
+          match tp with
+          | Some tp ->
+            Alcotest.(check bool) (rid ^ " valid traceparent") true
+              (Request_id.parse_traceparent tp <> None)
+          | None -> Alcotest.failf "%s: no traceparent header" rid)
+        results;
+      (* profiles are recorded just after the response bytes go out —
+         wait for all six before reading them back *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while
+        Telemetry.recorded tel < clients && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      (* every profile's every event carries exactly its own request id:
+         zero cross-request leakage at jobs=4 *)
+      List.iter
+        (fun (rid, _, _, _) ->
+          let st, _, body =
+            Client.oneshot port "GET" ("/v1/debug/requests/" ^ rid)
+          in
+          Alcotest.(check int) (rid ^ " profile served") 200 st;
+          let j = J.parse body in
+          Alcotest.(check string) (rid ^ " profile id") rid
+            (str_exn (member_exn "id" j));
+          Alcotest.(check bool) (rid ^ " oracle work recorded") true
+            (int_exn (member_exn "oracle_calls" j) > 0);
+          let events = list_exn (member_exn "events" j) in
+          Alcotest.(check bool) (rid ^ " events captured") true
+            (events <> []);
+          List.iter
+            (fun ej ->
+              let e = Trace_export.event_of_json ej in
+              match List.assoc_opt "req" e.Trace.attrs with
+              | Some (Trace.Str id) ->
+                Alcotest.(check string)
+                  (Printf.sprintf "%s event %d tagged with its request"
+                     rid e.Trace.seq)
+                  rid id
+              | _ ->
+                Alcotest.failf "%s: event %d without a req attribute" rid
+                  e.Trace.seq)
+            events;
+          (* the same buffer exports through the chrome tooling *)
+          let st, _, chrome =
+            Client.oneshot port "GET"
+              ("/v1/debug/requests/" ^ rid ^ "?format=chrome")
+          in
+          Alcotest.(check int) (rid ^ " chrome export") 200 st;
+          Alcotest.(check bool) (rid ^ " chrome has slices") true
+            (list_exn (member_exn "traceEvents" (J.parse chrome)) <> []))
+        results;
+      (* rolling SLO series are on the exposition *)
+      let _, _, metrics = Client.oneshot port "GET" "/metrics" in
+      let samples = Metrics.parse_openmetrics metrics in
+      let series name labels =
+        List.exists
+          (fun s ->
+            s.Metrics.om_name = name
+            && List.for_all
+                 (fun (k, v) ->
+                   List.assoc_opt k s.Metrics.om_labels = Some v)
+                 labels)
+          samples
+      in
+      Alcotest.(check bool) "1m error ratio exported" true
+        (series "shapmc_http_slo_error_ratio" [ ("window", "1m") ]);
+      Alcotest.(check bool) "5m window count exported" true
+        (series "shapmc_http_slo_window_requests" [ ("window", "5m") ]);
+      Alcotest.(check bool) "p99 latency exported" true
+        (series "shapmc_http_slo_latency_seconds"
+           [ ("window", "5m"); ("quantile", "0.99") ]));
+  Access_log.close access;
+  (* the access log has one parseable line per client request (plus the
+     debug/metrics fetches above), each round-tripping through the JSON
+     codec *)
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file log_path))
+  in
+  let logged_ids =
+    List.filter_map
+      (fun l ->
+        match J.parse_opt l with
+        | Some (J.Obj _ as j) ->
+          Alcotest.(check bool) "access line reprints stably" true
+            (J.parse (J.to_string j) = j);
+          Option.bind (J.member "id" j) J.to_str
+        | _ -> Alcotest.failf "unparseable access-log line: %s" l)
+      lines
+  in
+  List.iter
+    (fun i ->
+      let rid = Printf.sprintf "client-%d" i in
+      Alcotest.(check bool) (rid ^ " in the access log") true
+        (List.mem rid logged_ids))
+    (List.init clients (fun i -> i));
+  Sys.remove log_path
+
+(* Satellite: /metrics stays scrapeable mid-load, the in-flight gauge
+   never goes negative, and after quiescing the counter totals agree
+   with the access log line count. *)
+let server_metrics_under_load_reconcile () =
+  Metrics.reset ();
+  let log_path = Filename.temp_file "shapmc_load_access" ".jsonl" in
+  let access = Access_log.open_ log_path in
+  let tel = Telemetry.create ~ring:8 ~access () in
+  let api = multi_query_api 4 in
+  let served = ref 0 in
+  with_server ~jobs:4 ~telemetry:tel (Api.routes ~telemetry:tel api)
+    (fun srv port ->
+      let load =
+        Array.init 4 (fun i ->
+            Domain.spawn (fun () ->
+                let st, _, _ =
+                  Client.oneshot port "POST" "/v1/shapley/all"
+                    ~body:(Printf.sprintf {|{"query":"q%d"}|} i)
+                in
+                st))
+      in
+      let scrapes = ref 0 in
+      let scraping = ref true in
+      let scraper =
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            while !scraping do
+              let st, _, body = Client.oneshot port "GET" "/metrics" in
+              if st <> 200 then ok := false;
+              let samples = Metrics.parse_openmetrics body in
+              if samples = [] then ok := false;
+              List.iter
+                (fun s ->
+                  if
+                    s.Metrics.om_name = "shapmc_http_in_flight"
+                    && s.Metrics.om_value < 0.
+                  then ok := false)
+                samples;
+              incr scrapes
+            done;
+            !ok)
+      in
+      let statuses = Array.map Domain.join load in
+      scraping := false;
+      let scrapes_ok = Domain.join scraper in
+      Array.iteri
+        (fun i st ->
+          Alcotest.(check int) (Printf.sprintf "load client %d" i) 200 st)
+        statuses;
+      Alcotest.(check bool) "several scrapes happened mid-load" true
+        (!scrapes >= 2);
+      Alcotest.(check bool)
+        "every scrape parsed; in-flight never negative" true scrapes_ok;
+      (* quiesce: the counter and the log line are written after the
+         response bytes, so wait for the served count to settle *)
+      let rec settle prev =
+        Unix.sleepf 0.05;
+        let cur = Server.requests_served srv in
+        if cur <> prev then settle cur else cur
+      in
+      served := settle (Server.requests_served srv));
+  Access_log.close access;
+  let logged =
+    List.length
+      (List.filter (fun l -> String.trim l <> "")
+         (String.split_on_char '\n' (read_file log_path)))
+  in
+  Alcotest.(check int) "access log reconciles with requests served" !served
+    logged;
+  let total =
+    int_of_float (Metrics.counter_total "http_requests")
+  in
+  Alcotest.(check int) "counter total reconciles with the access log"
+    logged total;
+  Sys.remove log_path
+
+(* ------------------------------------------------------------------ *)
 
 let suite =
   [ t "http: request anatomy" http_basic;
@@ -1182,6 +1831,23 @@ let suite =
     t "server: /metrics round-trips through the parser"
       server_metrics_roundtrip;
     t "server: shutdown releases the port" server_shutdown_releases_port;
+    t "request-id: traceparent parsing" request_id_traceparent_parse;
+    t "request-id: generation invariants" request_id_generation;
+    t "request-id: honors and sanitizes headers" request_id_honors_headers;
+    t "router: param patterns match segment-wise" router_param_matching;
+    t "router: param dispatch, labels, shadowing" router_param_dispatch;
+    t "telemetry: ring eviction and lookup" telemetry_ring_and_lookup;
+    t "access log: rotation and JSON round-trip"
+      access_log_rotation_and_roundtrip;
+    t "sliding: windows roll deterministically" sliding_window_rolls;
+    t "telemetry: SLO gauges from the windows" telemetry_slo_gauges;
+    t "tail: chunked feeding and aggregation" tail_aggregation;
+    t "api: healthz version/pid/uptime" api_healthz_observability_fields;
+    t "api: debug request endpoints" api_debug_requests;
+    t "server: scoped observability end to end"
+      server_scoped_observability_end_to_end;
+    t "server: /metrics under load reconciles with the access log"
+      server_metrics_under_load_reconcile;
     t "exec: all submitted tasks run" exec_runs_everything;
     t "exec: jobs clamp" exec_jobs_clamp;
     t "exec: deadline then drain" exec_deadline_then_drain;
