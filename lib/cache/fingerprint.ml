@@ -1,0 +1,25 @@
+type t = int64
+
+(* FNV-1a, 64-bit variant: offset basis and prime from the reference
+   specification. *)
+let empty = 0xcbf29ce484222325L
+
+let prime = 0x100000001b3L
+
+let add_char h c =
+  Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) prime
+
+let add_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := add_char !h c) s;
+  (* A separator byte outside the folded alphabet, so concatenation
+     boundaries matter: ["ab";"c"] and ["a";"bc"] digest differently. *)
+  add_char !h '\x00'
+
+let add_int h i = add_string h (string_of_int i)
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let digest parts = to_hex (List.fold_left add_string empty parts)
+
+let equal = Int64.equal

@@ -20,6 +20,17 @@
     variables. *)
 val shap_direct : vars:int list -> Circuit.node -> (int * Rat.t) list
 
+(** [shap_direct_cached ~cache ~tags ~vars g] is {!shap_direct} with
+    every stratified count vector routed through the cache's counts
+    tier, keyed on the hash-consed circuit identity, the universe and
+    the restriction — so a re-solve of a known circuit (after a partial
+    result eviction, or a universe change that left the lineage intact)
+    skips all counting.  Fills are ledgered as [cache.kcount] oracle
+    calls; a fully warm sweep is oracle-free. *)
+val shap_direct_cached :
+  cache:Cache.t -> ?tags:string list -> vars:int list -> Circuit.node ->
+  (int * Rat.t) list
+
 (** [shap_via_reduction ~vars g] computes the same values through the
     Lemma 3.2 + 3.3 + Lemma 9 oracle chain. *)
 val shap_via_reduction : vars:int list -> Circuit.node -> (int * Rat.t) list

@@ -11,9 +11,16 @@ type t = {
   mutable rels : (string * relation) list; (* reverse declaration order *)
   mutable next_var : int;
   var_index : (int, string * Value.t array) Hashtbl.t;
+  id : int;  (* process-unique instance identity (invalidation tags) *)
 }
 
-let create () = { rels = []; next_var = 1; var_index = Hashtbl.create 64 }
+let next_id = Atomic.make 0
+
+let create () =
+  { rels = [];
+    next_var = 1;
+    var_index = Hashtbl.create 64;
+    id = Atomic.fetch_and_add next_id 1 }
 
 let find db name =
   match List.assoc_opt name db.rels with
@@ -65,6 +72,20 @@ let insert_with_var db name values ~lvar =
   db.next_var <- Stdlib.max db.next_var (lvar + 1);
   r.rows <- { values; lvar = Some lvar } :: r.rows
 
+let remove db name values =
+  let r =
+    try find db name
+    with Not_found -> invalid_arg ("Database.remove: unknown relation " ^ name)
+  in
+  match List.find_opt (fun s -> s.values = values) r.rows with
+  | None -> false
+  | Some s ->
+    r.rows <- List.filter (fun s' -> s' != s) r.rows;
+    (match s.lvar with
+     | Some v -> Hashtbl.remove db.var_index v
+     | None -> ());
+    true
+
 let kind_of db name = (find db name).kind
 let arity_of db name = (find db name).arity
 let relation_names db = List.rev_map fst db.rels
@@ -101,7 +122,10 @@ let copy db =
     rels = List.map (fun (n, r) -> (n, { r with rows = r.rows })) db.rels;
     next_var = db.next_var;
     var_index = Hashtbl.copy db.var_index;
+    id = Atomic.fetch_and_add next_id 1;
   }
+
+let id db = db.id
 
 let pp ppf db =
   List.iter

@@ -35,6 +35,21 @@ val insert : t -> string -> Value.t array -> int option
     @raise Invalid_argument if [lvar] is already used. *)
 val insert_with_var : t -> string -> Value.t array -> lvar:int -> unit
 
+(** [remove db name values] deletes the tuple if present, releasing its
+    lineage variable; [true] iff it was there.  The incremental half of
+    the serving cache: a removal (like an insert) changes the relation's
+    content fingerprint, and [Dichotomy.invalidate] drops the affected
+    cache entries.
+    @raise Invalid_argument on unknown relation. *)
+val remove : t -> string -> Value.t array -> bool
+
+(** [id db] is a process-unique identity for this database {e instance}
+    ([copy] gets a fresh one).  Cache {e keys} are content fingerprints;
+    the id only scopes invalidation tags, so dropping "relation R of db
+    7" cannot touch entries of an unrelated database that happens to
+    share a relation name. *)
+val id : t -> int
+
 (** [kind_of db name] / [arity_of db name].
     @raise Not_found for unknown relations. *)
 val kind_of : t -> string -> kind

@@ -26,6 +26,29 @@ val classify : Cq.t -> classification
     (keyed by lineage variable), reporting which solver ran. *)
 val shapley : Database.t -> Cq.t -> (int * Rat.t) list * solver
 
+(** [shapley_cached ~cache db q] is {!shapley} routed through the
+    serving cache: the full answer lives in the shapley tier under
+    {!Db_fingerprint.result_key}, the compiled circuit in the circuit
+    tier under {!Db_fingerprint.lineage_key} (so mutations of unrelated
+    relations never force a recompile), and every stratified count
+    vector in the counts tier.  [on_miss wrap] wraps the actual solve on
+    a result-tier miss — servers use it to ledger the solve as an oracle
+    call, so a warm request is observably oracle-free.  Cache fills are
+    ledgered as [cache.compile] / [cache.kcount].  Answers are
+    bit-identical to {!shapley} on every input. *)
+val shapley_cached :
+  ?on_miss:
+    ((unit -> (int * Rat.t) list * solver) -> (int * Rat.t) list * solver) ->
+  cache:Cache.t -> Database.t -> Cq.t -> (int * Rat.t) list * solver
+
+(** [invalidate ~cache db rel] — the fact insert/delete hook: drops every
+    cached entry whose lineage mentions [rel] of this database and, when
+    [rel] is endogenous (the player universe changed), every cached full
+    answer of this database.  Returns the number of entries dropped.
+    Content keys already make stale entries unreachable; this reclaims
+    them eagerly. *)
+val invalidate : cache:Cache.t -> Database.t -> string -> int
+
 (** [shapley_brute db q] is the exponential Eq. (2) reference on the
     lineage, for cross-checking (capped at 26 tuples). *)
 val shapley_brute : Database.t -> Cq.t -> (int * Rat.t) list

@@ -7,18 +7,16 @@ type entry = {
   facts : (int * string * Value.t array) array;
 }
 
-(* Memo slots live beside the entries: one lineage compilation per
-   query per process lifetime (the cross-query compilation cache is
-   ROADMAP item 2, deliberately not this layer). *)
-type memo = {
-  mutable shap : ((int * Rat.t) list * Dichotomy.solver) option;
-  lock : Mutex.t;
-}
-
-type t = { list : (entry * memo) list; created : float }
+(* Answers are amortized by the serving cache (ROADMAP item 2): the
+   compiled circuit, the stratified count vectors and the per-fact
+   rationals are content-keyed in a shared {!Shapmc_cache.Cache.t}, and
+   concurrent misses of one query single-flight — the old per-entry
+   memo held its mutex across the whole solve, serializing unrelated
+   requests; the cache's keyed flights do not. *)
+type t = { list : entry list; cache : Cache.t option; created : float }
 
 (* Service version reported by /healthz; tracks the PR sequence. *)
-let version = "0.7.0"
+let version = "0.8.0"
 
 let facts_of db =
   let all =
@@ -36,7 +34,7 @@ let facts_of db =
   Array.sort (fun (a, _, _) (b, _, _) -> compare a b) arr;
   arr
 
-let of_pairs pairs =
+let of_pairs ?cache ?(caching = true) pairs =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (name, _) ->
@@ -44,50 +42,48 @@ let of_pairs pairs =
         invalid_arg ("Api.of_pairs: duplicate query name " ^ name);
       Hashtbl.add seen name ())
     pairs;
+  let cache =
+    if not caching then None
+    else Some (match cache with Some c -> c | None -> Cache.create ())
+  in
   { list =
       List.map
-        (fun (name, (db, query)) ->
-          ( { name; db; query; facts = facts_of db },
-            { shap = None; lock = Mutex.create () } ))
+        (fun (name, (db, query)) -> { name; db; query; facts = facts_of db })
         pairs;
+    cache;
     created = Unix.gettimeofday () }
 
-let load_files files =
-  of_pairs
+let load_files ?cache ?caching files =
+  of_pairs ?cache ?caching
     (List.map (fun (name, path) -> (name, Db_parser.parse_file path)) files)
 
-let entries t = List.map fst t.list
+let entries t = t.list
 
-let find_slot t name =
-  List.find_opt (fun (e, _) -> e.name = name) t.list
+let find t name = List.find_opt (fun e -> e.name = name) t.list
 
-let find t name = Option.map fst (find_slot t name)
+let cache t = t.cache
+
+(* The cache miss (or uncached solve) is this layer's oracle
+   consultation: the full Shapley solve.  Ledger it so per-request
+   scopes, the access log and /metrics attribute solver time to the
+   request that paid for it — cache hits make zero ledger calls, so a
+   warm request's profile shows [oracle_calls = 0]. *)
+let ledgered_solve e k =
+  Obs.call ~oracle:"api.shapley_all"
+    ~n:(Array.length e.facts)
+    ~attrs:[ ("query", Trace.Str e.name) ]
+    (fun () -> Obs.with_span "api.solve" k)
 
 let shapley_all t entry =
-  match find_slot t entry.name with
+  match find t entry.name with
   | None -> invalid_arg ("Api.shapley_all: unknown entry " ^ entry.name)
-  | Some (e, memo) ->
-    Mutex.lock memo.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock memo.lock)
-      (fun () ->
-        match memo.shap with
-        | Some r -> r
-        | None ->
-          (* A memo miss is this layer's oracle consultation: the full
-             Shapley solve.  Ledger it so per-request scopes, the access
-             log and /metrics attribute solver time to the request that
-             paid for it (memo hits are oracle-free by construction). *)
-          let r =
-            Obs.call ~oracle:"api.shapley_all"
-              ~n:(Array.length e.facts)
-              ~attrs:[ ("query", Trace.Str e.name) ]
-              (fun () ->
-                Obs.with_span "api.solve" (fun () ->
-                    Dichotomy.shapley e.db e.query))
-          in
-          memo.shap <- Some r;
-          r)
+  | Some e -> (
+      match t.cache with
+      | None -> ledgered_solve e (fun () -> Dichotomy.shapley e.db e.query)
+      | Some cache ->
+        Dichotomy.shapley_cached ~cache
+          ~on_miss:(fun run -> ledgered_solve e run)
+          e.db e.query)
 
 (* ------------------------------------------------------------------ *)
 (* Cursors: "f" + zero-padded decimal, so token order IS fact order.   *)
@@ -180,7 +176,7 @@ let queries t _req =
        [ ( "queries",
            J.List
              (List.map
-                (fun (e, _) ->
+                (fun e ->
                   J.Obj
                     [ ("name", J.Str e.name);
                       ("query", J.Str (Cq.to_string e.query));

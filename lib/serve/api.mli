@@ -1,7 +1,8 @@
 (** The JSON API of [shapmc serve]: a set of named (database, query)
-    pairs loaded once at startup, Shapley answers memoized per query —
-    one lineage compilation per query per process lifetime — and
-    cursor-paginated fact enumeration.
+    pairs loaded once at startup, Shapley answers amortized by the
+    serving cache ({!Shapmc_cache.Cache}) — compiled circuits,
+    stratified count vectors and per-fact rationals are content-keyed
+    and shared across requests — and cursor-paginated fact enumeration.
 
     Routes:
     - [GET /healthz] — liveness: status, {!version}, pid, uptime,
@@ -31,19 +32,30 @@ type entry = {
 type t
 
 (** [of_pairs [(name, (db, q)); ...]] builds a service state.
+    [caching] (default [true]) turns the serving cache on; [cache]
+    supplies a pre-sized (or shared) {!Shapmc_cache.Cache.t} instead of
+    the default-capacity one.  With [~caching:false] every request
+    re-solves from scratch.
     @raise Invalid_argument on duplicate names. *)
-val of_pairs : (string * (Database.t * Cq.t)) list -> t
+val of_pairs :
+  ?cache:Cache.t -> ?caching:bool -> (string * (Database.t * Cq.t)) list -> t
 
 (** [load_files [(name, path); ...]] parses each file with
     {!Db_parser.parse_file}. *)
-val load_files : (string * string) list -> t
+val load_files :
+  ?cache:Cache.t -> ?caching:bool -> (string * string) list -> t
 
 val entries : t -> entry list
 val find : t -> string -> entry option
 
-(** Memoized: the first call per entry compiles the lineage and solves
-    for every fact (under a per-entry mutex — concurrent callers
-    block, then share); later calls are lookups. *)
+(** The serving cache, when enabled (for stats epilogues and tests). *)
+val cache : t -> Cache.t option
+
+(** Amortized via {!Dichotomy.shapley_cached}: the first call per query
+    content compiles the lineage and solves for every fact (concurrent
+    misses of one key single-flight — the leader solves, joiners park
+    and share); later calls are cache hits and make zero oracle calls.
+    With [~caching:false], every call is a fresh ledgered solve. *)
 val shapley_all : t -> entry -> (int * Rat.t) list * Dichotomy.solver
 
 (** Version string reported by [/healthz]. *)

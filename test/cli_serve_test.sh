@@ -63,6 +63,16 @@ grep -q '"num":"1","den":"4"' <<<"$out" || fail "shapley value wrong: $out"
 batch=$("$exe" lineage serve_demo.db)
 grep -q "1/4" <<<"$batch" || fail "batch CLI disagrees: $batch"
 
+# repeated queries are served from the compilation cache (default on):
+# the answers stay bit-identical and /metrics reports cache hits
+first=$("$probe" 127.0.0.1 "$port" POST /v1/shapley/all '{"query":"serve_demo"}')
+grep -q "HTTP/1.1 200" <<<"$first" || fail "shapley/all not 200: $first"
+for _ in 1 2 3; do
+  again=$("$probe" 127.0.0.1 "$port" POST /v1/shapley/all '{"query":"serve_demo"}')
+  [ "$(tail -1 <<<"$again")" = "$(tail -1 <<<"$first")" ] \
+    || fail "cached answer differs from the first: $again"
+done
+
 # unknown routes / facts
 out=$("$probe" 127.0.0.1 "$port" GET /nope)
 grep -q "HTTP/1.1 404" <<<"$out" || fail "missing 404: $out"
@@ -84,6 +94,8 @@ out=$("$probe" 127.0.0.1 "$port" GET /metrics)
 grep -q "shapmc_http_requests_total" <<<"$out" || fail "http_requests missing from /metrics: $out"
 grep -q "shapmc_http_slo_error_ratio" <<<"$out" || fail "SLO series missing from /metrics: $out"
 grep -q "# EOF" <<<"$out" || fail "OpenMetrics terminator missing"
+awk '/^shapmc_cache_hits_total/ { if ($NF + 0 > 0) ok = 1 } END { exit !ok }' <<<"$out" \
+  || fail "no cache hits recorded after repeated queries: $out"
 
 # debug ring: the recent requests are listed, and a profile is servable
 out=$("$probe" 127.0.0.1 "$port" GET /v1/debug/requests)

@@ -1,0 +1,528 @@
+(** The serving cache: LRU mechanics, single-flight stampede control,
+    tier round-trips, invalidation hooks — and the differential harness
+    proving cached answers are bit-identical to fresh solves under
+    random mutation/solve interleavings, sequentially and on the domain
+    pool.
+
+    Determinism: the qcheck cases use fixed-seed [Random.State]s (same
+    idiom as {!Test_differential}), and every scenario rebuilds its
+    database and cache from scratch, so a reported counterexample
+    replays. *)
+
+open Helpers
+
+let iterations default =
+  match Sys.getenv_opt "SHAPMC_QCHECK_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> default)
+  | None -> default
+
+let dtest ~seed ~count name arb prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 2025; seed |])
+    (QCheck.Test.make ~count:(iterations count) ~name arb prop)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Lru *)
+
+let lru_eviction_order () =
+  let evicted = ref [] in
+  let l = Lru.create ~on_evict:(fun k -> evicted := k :: !evicted)
+      ~capacity:3 () in
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  Lru.put l "c" 3;
+  Alcotest.(check (list string)) "MRU first" [ "c"; "b"; "a" ] (Lru.keys l);
+  (* A find bumps: "a" becomes MRU, so the next eviction takes "b". *)
+  check_bool "find a" true (Lru.find l "a" = Some 1);
+  Lru.put l "d" 4;
+  Alcotest.(check (list string)) "b evicted" [ "d"; "a"; "c" ] (Lru.keys l);
+  Alcotest.(check (list string)) "on_evict saw b" [ "b" ] !evicted;
+  check_bool "b gone" false (Lru.mem l "b");
+  check_int "length" 3 (Lru.length l);
+  check_int "capacity" 3 (Lru.capacity l)
+
+let lru_replace_bumps () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.put l "a" 1;
+  Lru.put l "b" 2;
+  Lru.put l "a" 10;
+  (* replace: "a" is MRU again *)
+  Lru.put l "c" 3;
+  (* evicts "b", the LRU *)
+  check_bool "a survives with new value" true (Lru.find l "a" = Some 10);
+  check_bool "b evicted" false (Lru.mem l "b");
+  check_bool "c present" true (Lru.mem l "c")
+
+let lru_counters () =
+  let l = Lru.create ~capacity:2 () in
+  Lru.put l "a" 1;
+  ignore (Lru.find l "a");
+  ignore (Lru.find l "a");
+  ignore (Lru.find l "nope");
+  Lru.put l "b" 2;
+  Lru.put l "c" 3;
+  check_int "hits" 2 (Lru.hits l);
+  check_int "misses" 1 (Lru.misses l);
+  check_int "evictions" 1 (Lru.evictions l);
+  check_bool "remove b" true (Lru.remove l "b");
+  check_bool "remove b again" false (Lru.remove l "b");
+  Lru.clear l;
+  check_int "cleared" 0 (Lru.length l);
+  check_int "counters survive clear" 2 (Lru.hits l)
+
+let lru_remove_tagged () =
+  let l = Lru.create ~capacity:8 () in
+  Lru.put l ~tags:[ "red"; "big" ] "a" 1;
+  Lru.put l ~tags:[ "red" ] "b" 2;
+  Lru.put l ~tags:[ "blue" ] "c" 3;
+  Lru.put l "d" 4;
+  check_int "two red entries dropped" 2 (Lru.remove_tagged l "red");
+  check_int "no green entries" 0 (Lru.remove_tagged l "green");
+  Alcotest.(check (list string)) "blue and untagged survive" [ "d"; "c" ]
+    (Lru.keys l);
+  (* Replacing an entry replaces its tags too. *)
+  Lru.put l ~tags:[ "blue" ] "e" 5;
+  Lru.put l ~tags:[ "red" ] "e" 5;
+  check_int "only c is still blue" 1 (Lru.remove_tagged l "blue");
+  check_int "e retagged red" 1 (Lru.remove_tagged l "red")
+
+let lru_bad_capacity () =
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be positive")
+    (fun () -> ignore (Lru.create ~capacity:0 () : int Lru.t))
+
+(* ------------------------------------------------------------------ *)
+(* Single-flight *)
+
+(* Spawn [n] domains that all enter [run] on the same key at once: an
+   arrival counter is incremented immediately before [run], and the
+   computation spins until everyone has arrived (plus a grace sleep for
+   the increment-to-run window), so every sibling is parked on the
+   flight when the leader finally computes. *)
+let stampede ~n f =
+  let sf = Single_flight.create () in
+  let arrived = Atomic.make 0 in
+  let body () =
+    while Atomic.get arrived < n do
+      Domain.cpu_relax ()
+    done;
+    Unix.sleepf 0.05;
+    f ()
+  in
+  let ds =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr arrived;
+            match Single_flight.run sf "k" body with
+            | v -> Ok v
+            | exception e -> Error e))
+  in
+  let rs = List.map Domain.join ds in
+  (sf, rs)
+
+let single_flight_stampede () =
+  let solves = Atomic.make 0 in
+  let sf, rs =
+    stampede ~n:8 (fun () ->
+        Atomic.incr solves;
+        42)
+  in
+  check_int "exactly one solve" 1 (Atomic.get solves);
+  check_int "exactly one leader" 1 (Single_flight.leads sf);
+  check_int "no flight left up" 0 (Single_flight.in_flight sf);
+  List.iter
+    (fun r -> check_bool "every caller got the answer" true (r = Ok 42))
+    rs
+
+let single_flight_failure () =
+  let sf, rs =
+    stampede ~n:4 (fun () -> failwith "boom")
+  in
+  check_int "one leader" 1 (Single_flight.leads sf);
+  List.iter
+    (fun r ->
+      match r with
+      | Error (Failure m) -> Alcotest.(check string) "exception shared" "boom" m
+      | _ -> Alcotest.fail "expected the leader's failure")
+    rs;
+  (* The failed flight is dropped: the key is retryable. *)
+  check_int "retry succeeds" 7 (Single_flight.run sf "k" (fun () -> 7));
+  check_int "retry led" 2 (Single_flight.leads sf)
+
+(* ------------------------------------------------------------------ *)
+(* Cache tiers *)
+
+let counts_tier_roundtrip () =
+  let c = Cache.create () in
+  let fills = ref 0 in
+  let kv () =
+    incr fills;
+    Kvec.make ~n:1 [| Bigint.of_int !fills; Bigint.of_int 2 |]
+  in
+  let a = Cache.counts c ~key:"k1" kv in
+  let b = Cache.counts c ~key:"k1" kv in
+  let d = Cache.counts c ~key:"k2" kv in
+  check_int "one fill per key" 2 !fills;
+  Alcotest.check kvec "hit returns the stored vector" a b;
+  check_bool "distinct keys computed separately" false (Kvec.equal a d);
+  let stats = List.assoc "counts" (Cache.stats c) in
+  check_int "counts hits" 1 stats.Cache.ts_hits;
+  check_int "counts misses" 2 stats.Cache.ts_misses;
+  check_int "counts entries" 2 stats.Cache.ts_entries
+
+let shapley_tier_roundtrip () =
+  let c = Cache.create () in
+  let solves = ref 0 in
+  let answer = [ (1, Rat.of_ints 1 4); (2, Rat.of_ints 3 4) ] in
+  let solve () =
+    incr solves;
+    (answer, "safe-plan")
+  in
+  let v1 = Cache.shapley_all c ~key:"q" solve in
+  let v2 = Cache.shapley_all c ~key:"q" solve in
+  check_int "second lookup is a hit" 1 !solves;
+  check_bool "identical payloads" true (v1 = v2);
+  check_bool "solver tag round-trips" true (snd v1 = "safe-plan");
+  Alcotest.(check (option rat)) "find_shapley peeks a fact"
+    (Some (Rat.of_ints 3 4))
+    (Cache.find_shapley c ~key:"q" ~fact:2);
+  Alcotest.(check (option rat)) "find_shapley misses an unknown fact" None
+    (Cache.find_shapley c ~key:"q" ~fact:9)
+
+let shapley_tier_partial_eviction () =
+  (* Result tier of 2 slots, answers of 4 facts: every solve evicts most
+     of the previous answer, so a repeat can never reassemble a full
+    answer — it must re-solve, and stays exact. *)
+  let c = Cache.create ~results:2 () in
+  let solves = ref 0 in
+  let answer = List.init 4 (fun i -> (i + 1, Rat.of_ints 1 (i + 1))) in
+  let solve () =
+    incr solves;
+    (answer, "s")
+  in
+  let v1 = Cache.shapley_all c ~key:"q" solve in
+  let v2 = Cache.shapley_all c ~key:"q" solve in
+  check_int "partial residency re-solves" 2 !solves;
+  check_bool "still exact" true (fst v1 = answer && fst v2 = answer)
+
+let cache_stampede () =
+  let c = Cache.create () in
+  let solves = Atomic.make 0 in
+  let answer = [ (1, Rat.of_ints 1 2) ] in
+  let arrived = Atomic.make 0 in
+  let n = 6 in
+  let ds =
+    List.init n (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr arrived;
+            Cache.shapley_all c ~key:"q" (fun () ->
+                while Atomic.get arrived < n do
+                  Domain.cpu_relax ()
+                done;
+                Unix.sleepf 0.05;
+                Atomic.incr solves;
+                (answer, "s"))))
+  in
+  let rs = List.map Domain.join ds in
+  check_int "k concurrent misses, one solve" 1 (Atomic.get solves);
+  List.iter
+    (fun r -> check_bool "all callers share it" true (r = (answer, "s")))
+    rs;
+  let stats = List.assoc "shapley" (Cache.stats c) in
+  check_int "one miss (the leader)" 1 stats.Cache.ts_misses;
+  check_int "joiners and repeats are hits" (n - 1) stats.Cache.ts_hits
+
+let invalidate_tag_drops_tiers () =
+  let c = Cache.create () in
+  ignore (Cache.counts c ~key:"k1" ~tags:[ "t" ] (fun () -> Kvec.zero ~n:1));
+  ignore (Cache.counts c ~key:"k2" (fun () -> Kvec.zero ~n:1));
+  ignore
+    (Cache.shapley_all c ~key:"q" ~tags:[ "t" ] (fun () ->
+         ([ (1, Rat.one) ], "s")));
+  (* q contributes a meta entry + one per-fact rational, both tagged. *)
+  check_int "tagged entries dropped across tiers" 3 (Cache.invalidate_tag c "t");
+  check_int "idempotent" 0 (Cache.invalidate_tag c "t");
+  let solves = ref 0 in
+  ignore
+    (Cache.shapley_all c ~key:"q" (fun () ->
+         incr solves;
+         ([ (1, Rat.one) ], "s")));
+  check_int "invalidated answer re-solves" 1 !solves;
+  Cache.clear c;
+  let stats = List.assoc "counts" (Cache.stats c) in
+  check_int "clear empties" 0 stats.Cache.ts_entries;
+  check_int "clear keeps counters" 2 stats.Cache.ts_misses
+
+let cache_metrics_exported () =
+  let c = Cache.create () in
+  Metrics.reset ();
+  ignore (Cache.counts c ~key:"k" (fun () -> Kvec.zero ~n:1));
+  ignore (Cache.counts c ~key:"k" (fun () -> Kvec.zero ~n:1));
+  check_bool "cache_hits counter exported" true
+    (Metrics.counter_total "cache_hits" >= 1.);
+  check_bool "cache_misses counter exported" true
+    (Metrics.counter_total "cache_misses" >= 1.);
+  check_bool "openmetrics carries the family" true
+    (let om = Metrics.to_openmetrics () in
+     List.exists
+       (fun s -> s.Metrics.om_name = "shapmc_cache_hits_total")
+       (Metrics.parse_openmetrics om));
+  check_bool "summary mentions every tier" true
+    (let s = Cache.summary c in
+     List.for_all
+       (fun tier ->
+         let re = tier in
+         let len = String.length re in
+         let rec find i =
+           i + len <= String.length s
+           && (String.sub s i len = re || find (i + 1))
+         in
+         find 0)
+       [ "circuit"; "counts"; "shapley" ])
+
+(* ------------------------------------------------------------------ *)
+(* Dichotomy-level caching and invalidation *)
+
+let solver = Alcotest.testable
+    (fun ppf s ->
+      Format.pp_print_string ppf
+        (match s with
+         | Dichotomy.Safe_plan_circuit -> "safe-plan"
+         | Dichotomy.Compiled_dnf -> "compiled-dnf"))
+    ( = )
+
+let dichotomy_cached_matches_fresh () =
+  let db = example13_db () in
+  let q = Db_parser.parse_query "R1(x), R2(x)" in
+  let cache = Cache.create () in
+  let fresh, fs = Dichotomy.shapley db q in
+  let cold, cs = Dichotomy.shapley_cached ~cache db q in
+  let warm, ws = Dichotomy.shapley_cached ~cache db q in
+  Alcotest.check solver "solver (fresh vs cold)" fs cs;
+  Alcotest.check solver "solver (fresh vs warm)" fs ws;
+  check_shap "cold = fresh" fresh cold;
+  check_shap "warm = fresh" fresh warm;
+  let stats = List.assoc "shapley" (Cache.stats cache) in
+  check_int "one result miss" 1 stats.Cache.ts_misses;
+  check_int "one result hit" 1 stats.Cache.ts_hits
+
+let two_rel_db () =
+  let db = Database.create () in
+  Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+  Database.declare db "S" ~kind:Database.Endogenous ~arity:1;
+  ignore (Database.insert db "R" [| Value.int 1 |]);
+  ignore (Database.insert db "R" [| Value.int 2 |]);
+  ignore (Database.insert db "S" [| Value.int 1 |]);
+  db
+
+let insert_recompiles_only_affected_lineage () =
+  let db = two_rel_db () in
+  let qr = Db_parser.parse_query "R(x)" in
+  let qs = Db_parser.parse_query "S(x)" in
+  let cache = Cache.create () in
+  ignore (Dichotomy.shapley_cached ~cache db qr);
+  ignore (Dichotomy.shapley_cached ~cache db qs);
+  let compiles_before =
+    (List.assoc "circuit" (Cache.stats cache)).Cache.ts_misses
+  in
+  check_int "one compile per query" 2 compiles_before;
+  (* Mutate S only.  The endogenous insert changes the player universe,
+     so both results are stale — but only S's lineage needs recompiling. *)
+  ignore (Database.insert db "S" [| Value.int 2 |]);
+  check_bool "invalidate dropped something" true
+    (Dichotomy.invalidate ~cache db "S" > 0);
+  let rr, _ = Dichotomy.shapley_cached ~cache db qr in
+  let rs, _ = Dichotomy.shapley_cached ~cache db qs in
+  check_shap "R answer exact after S insert" (fst (Dichotomy.shapley db qr)) rr;
+  check_shap "S answer exact after S insert" (fst (Dichotomy.shapley db qs)) rs;
+  let circuit = List.assoc "circuit" (Cache.stats cache) in
+  check_int "only S recompiled" 3 circuit.Cache.ts_misses;
+  check_bool "R's circuit was a warm hit" true (circuit.Cache.ts_hits >= 1)
+
+let delete_invalidation_exact () =
+  let db = two_rel_db () in
+  let q = Db_parser.parse_query "R(x), S(x)" in
+  let cache = Cache.create () in
+  let before, _ = Dichotomy.shapley_cached ~cache db q in
+  check_shap "cached before mutation" (fst (Dichotomy.shapley db q)) before;
+  let tup = [| Value.int 2 |] in
+  ignore (Database.insert db "S" tup);
+  ignore (Dichotomy.invalidate ~cache db "S");
+  let inserted, _ = Dichotomy.shapley_cached ~cache db q in
+  check_shap "cached after insert" (fst (Dichotomy.shapley db q)) inserted;
+  check_bool "values actually changed" false (before = inserted);
+  check_bool "remove finds the tuple" true (Database.remove db "S" tup);
+  check_bool "remove is idempotent" false (Database.remove db "S" tup);
+  ignore (Dichotomy.invalidate ~cache db "S");
+  let after, _ = Dichotomy.shapley_cached ~cache db q in
+  check_shap "cached after delete" (fst (Dichotomy.shapley db q)) after;
+  check_shap "delete restored the original answer" before after
+
+let compiled_dnf_cached () =
+  let db, q = random_q0_db ~a:3 ~b:3 ~density:0.6 ~seed:11 in
+  let cache = Cache.create () in
+  let fresh, fs = Dichotomy.shapley db q in
+  let cold, cs = Dichotomy.shapley_cached ~cache db q in
+  let warm, _ = Dichotomy.shapley_cached ~cache db q in
+  Alcotest.check solver "non-hierarchical solver" Dichotomy.Compiled_dnf fs;
+  Alcotest.check solver "cached solver agrees" fs cs;
+  check_shap "cold = fresh" fresh cold;
+  check_shap "warm = fresh" fresh warm
+
+(* ------------------------------------------------------------------ *)
+(* The differential harness: random interleavings of solves, inserts and
+   deletes; after every step the cached pipeline must agree with a fresh
+   solve bit-for-bit, at jobs = 1 and on the domain pool. *)
+
+type op =
+  | Insert of string * int list
+  | Remove of string * int list
+  | Solve of int
+
+let pp_op = function
+  | Insert (r, vs) ->
+    Printf.sprintf "ins %s(%s)" r
+      (String.concat "," (List.map string_of_int vs))
+  | Remove (r, vs) ->
+    Printf.sprintf "del %s(%s)" r
+      (String.concat "," (List.map string_of_int vs))
+  | Solve i -> Printf.sprintf "solve q%d" i
+
+let query_pool =
+  [| "R(x)"; "S(x,y)"; "R(x), S(x,y)"; "R(x), S(x,y), T(y)" |]
+
+let parsed_pool = lazy (Array.map Db_parser.parse_query query_pool)
+
+let gen_ops =
+  let open QCheck.Gen in
+  let value = int_range 1 3 in
+  let op =
+    frequency
+      [ (3, map (fun v -> Insert ("R", [ v ])) value);
+        (3, map2 (fun a b -> Insert ("S", [ a; b ])) value value);
+        (2, map (fun v -> Insert ("T", [ v ])) value);
+        (2, map (fun v -> Remove ("R", [ v ])) value);
+        (2, map2 (fun a b -> Remove ("S", [ a; b ])) value value);
+        (1, map (fun v -> Remove ("T", [ v ])) value);
+        (6, map (fun i -> Solve i) (int_range 0 (Array.length query_pool - 1)))
+      ]
+  in
+  list_size (int_range 3 10) op
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    gen_ops
+
+let scenario_db () =
+  let db = Database.create () in
+  Database.declare db "R" ~kind:Database.Endogenous ~arity:1;
+  Database.declare db "S" ~kind:Database.Endogenous ~arity:2;
+  Database.declare db "T" ~kind:Database.Exogenous ~arity:1;
+  ignore (Database.insert db "R" [| Value.int 1 |]);
+  ignore (Database.insert db "S" [| Value.int 1; Value.int 1 |]);
+  ignore (Database.insert db "T" [| Value.int 1 |]);
+  db
+
+(* Replay [ops]; returns the rendered (exact {num,den} strings) answer
+   of every Solve.  Raises [QCheck.Test.fail_reportf] on any cached/fresh
+   divergence. *)
+let run_scenario ~jobs ~cache ops =
+  Par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.set_jobs 1) @@ fun () ->
+  let db = scenario_db () in
+  let queries = Lazy.force parsed_pool in
+  let render shap =
+    String.concat ";"
+      (List.map
+         (fun (i, v) -> Printf.sprintf "%d=%s" i (Rat.to_string v))
+         (List.sort compare shap))
+  in
+  List.filter_map
+    (fun op ->
+      match op with
+      | Insert (r, vs) ->
+        let tup = Array.of_list (List.map Value.int vs) in
+        if not (Database.mem db r tup) then begin
+          ignore (Database.insert db r tup);
+          ignore (Dichotomy.invalidate ~cache db r)
+        end;
+        None
+      | Remove (r, vs) ->
+        let tup = Array.of_list (List.map Value.int vs) in
+        if Database.remove db r tup then
+          ignore (Dichotomy.invalidate ~cache db r);
+        None
+      | Solve i ->
+        let q = queries.(i) in
+        let cached, cs = Dichotomy.shapley_cached ~cache db q in
+        let fresh, fs = Dichotomy.shapley db q in
+        if cs <> fs then
+          QCheck.Test.fail_reportf "solver mismatch on %s" query_pool.(i);
+        let rc = render cached and rf = render fresh in
+        if rc <> rf then
+          QCheck.Test.fail_reportf
+            "cached <> fresh on %s\n  cached: %s\n  fresh:  %s"
+            query_pool.(i) rc rf;
+        Some rc)
+    ops
+
+let differential_tests =
+  [ dtest ~seed:31 ~count:25
+      "cached = fresh under random interleavings (jobs 1 = jobs 4)"
+      arb_ops
+      (fun ops ->
+        let seq = run_scenario ~jobs:1 ~cache:(Cache.create ()) ops in
+        let par = run_scenario ~jobs:4 ~cache:(Cache.create ()) ops in
+        seq = par);
+    dtest ~seed:32 ~count:15
+      "cached = fresh under constant eviction (tiny capacities)"
+      arb_ops
+      (fun ops ->
+        let full = run_scenario ~jobs:1 ~cache:(Cache.create ()) ops in
+        let tiny =
+          run_scenario ~jobs:1
+            ~cache:(Cache.create ~circuits:1 ~counts:2 ~results:2 ())
+            ops
+        in
+        full = tiny) ]
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [ Alcotest.test_case "lru: eviction follows recency" `Quick
+      lru_eviction_order;
+    Alcotest.test_case "lru: put replaces and bumps" `Quick lru_replace_bumps;
+    Alcotest.test_case "lru: counters, remove, clear" `Quick lru_counters;
+    Alcotest.test_case "lru: remove_tagged drops only tagged" `Quick
+      lru_remove_tagged;
+    Alcotest.test_case "lru: capacity must be positive" `Quick
+      lru_bad_capacity;
+    Alcotest.test_case "single-flight: stampede computes once" `Quick
+      single_flight_stampede;
+    Alcotest.test_case "single-flight: failure shared, flight dropped" `Quick
+      single_flight_failure;
+    Alcotest.test_case "cache: counts tier round-trip" `Quick
+      counts_tier_roundtrip;
+    Alcotest.test_case "cache: shapley tier reassembles per-fact entries"
+      `Quick shapley_tier_roundtrip;
+    Alcotest.test_case "cache: partial eviction re-solves, stays exact"
+      `Quick shapley_tier_partial_eviction;
+    Alcotest.test_case "cache: concurrent misses single-flight" `Quick
+      cache_stampede;
+    Alcotest.test_case "cache: invalidate_tag crosses tiers" `Quick
+      invalidate_tag_drops_tiers;
+    Alcotest.test_case "cache: metrics and summary exported" `Quick
+      cache_metrics_exported;
+    Alcotest.test_case "dichotomy: cached = fresh (hierarchical)" `Quick
+      dichotomy_cached_matches_fresh;
+    Alcotest.test_case "dichotomy: insert recompiles only affected lineage"
+      `Quick insert_recompiles_only_affected_lineage;
+    Alcotest.test_case "dichotomy: delete invalidation stays exact" `Quick
+      delete_invalidation_exact;
+    Alcotest.test_case "dichotomy: cached = fresh (compiled-dnf)" `Quick
+      compiled_dnf_cached ]
+  @ differential_tests

@@ -23,4 +23,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);
       ("differential", Test_differential.suite);
+      ("cache", Test_cache.suite);
       ("serve", Test_serve.suite) ]

@@ -1764,6 +1764,13 @@ let server_metrics_under_load_reconcile () =
             !ok)
       in
       let statuses = Array.map Domain.join load in
+      (* under heavy machine load the four clients can finish before the
+         scraper turns over twice; let it reach two expositions (they
+         still overlap the post-response bookkeeping) before stopping *)
+      let scrape_deadline = Unix.gettimeofday () +. 5. in
+      while !scrapes < 2 && Unix.gettimeofday () < scrape_deadline do
+        Unix.sleepf 0.005
+      done;
       scraping := false;
       let scrapes_ok = Domain.join scraper in
       Array.iteri
@@ -1796,6 +1803,107 @@ let server_metrics_under_load_reconcile () =
   Alcotest.(check int) "counter total reconciles with the access log"
     logged total;
   Sys.remove log_path
+
+(* ------------------------------------------------------------------ *)
+(* The serving cache: warm requests are oracle-free, and concurrent
+   misses of one key single-flight to a single solve.                  *)
+
+let server_warm_path_oracle_free () =
+  Metrics.reset ();
+  let tel = Telemetry.create ~ring:8 () in
+  let api = demo_api () in
+  with_server ~telemetry:tel (Api.routes ~telemetry:tel api) (fun _ port ->
+      let ask rid =
+        Client.oneshot port "POST" "/v1/shapley/all"
+          ~headers:[ ("X-Request-Id", rid) ]
+          ~body:{|{"query":"demo"}|}
+      in
+      let st_cold, _, body_cold = ask "cold" in
+      let st_warm, _, body_warm = ask "warm" in
+      Alcotest.(check int) "cold 200" 200 st_cold;
+      Alcotest.(check int) "warm 200" 200 st_warm;
+      Alcotest.(check string) "bit-identical payloads" body_cold body_warm;
+      (* profiles are recorded just after the response bytes go out *)
+      let deadline = Unix.gettimeofday () +. 5. in
+      while Telemetry.recorded tel < 2 && Unix.gettimeofday () < deadline do
+        Unix.sleepf 0.005
+      done;
+      let oracle_calls rid =
+        let st, _, body =
+          Client.oneshot port "GET" ("/v1/debug/requests/" ^ rid)
+        in
+        Alcotest.(check int) (rid ^ " profile served") 200 st;
+        int_exn (member_exn "oracle_calls" (J.parse body))
+      in
+      Alcotest.(check bool) "cold request paid for the solve" true
+        (oracle_calls "cold" > 0);
+      Alcotest.(check int) "warm request made zero oracle calls" 0
+        (oracle_calls "warm");
+      let _, _, metrics = Client.oneshot port "GET" "/metrics" in
+      let hits =
+        List.fold_left
+          (fun acc s ->
+            if s.Metrics.om_name = "shapmc_cache_hits_total" then
+              acc +. s.Metrics.om_value
+            else acc)
+          0.
+          (Metrics.parse_openmetrics metrics)
+      in
+      Alcotest.(check bool) "/metrics shows cache hits" true (hits > 0.))
+
+(* Regression for the old per-entry memo, whose mutex was held across
+   the whole solve: six concurrent requests for distinct facts of one
+   query must all succeed with exact values, and the shared cache key
+   must be solved exactly once — every other request joins the flight
+   (or hits) and stays oracle-free. *)
+let server_cache_single_flight_under_concurrency () =
+  Metrics.reset ();
+  let tel = Telemetry.create ~ring:16 () in
+  let api = demo_api () in
+  with_server ~jobs:4 ~telemetry:tel (Api.routes ~telemetry:tel api)
+    (fun _ port ->
+      let clients = 6 in
+      let domains =
+        Array.init clients (fun i ->
+            Domain.spawn (fun () ->
+                let rid = Printf.sprintf "flight-%d" i in
+                let fact = (i mod 4) + 1 in
+                let st, _, body =
+                  Client.oneshot port "POST" "/v1/shapley"
+                    ~headers:[ ("X-Request-Id", rid) ]
+                    ~body:(Printf.sprintf {|{"query":"demo","fact":%d}|} fact)
+                in
+                (rid, st, body)))
+      in
+      let results = Array.to_list (Array.map Domain.join domains) in
+      List.iter
+        (fun (rid, st, body) ->
+          Alcotest.(check int) (rid ^ " status") 200 st;
+          let sh = member_exn "shapley" (J.parse body) in
+          Alcotest.(check string) (rid ^ " num") "1"
+            (str_exn (member_exn "num" sh));
+          Alcotest.(check string) (rid ^ " den") "4"
+            (str_exn (member_exn "den" sh)))
+        results;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while
+        Telemetry.recorded tel < clients && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.005
+      done;
+      let paid =
+        List.filter
+          (fun (rid, _, _) ->
+            let st, _, body =
+              Client.oneshot port "GET" ("/v1/debug/requests/" ^ rid)
+            in
+            Alcotest.(check int) (rid ^ " profile served") 200 st;
+            int_exn (member_exn "oracle_calls" (J.parse body)) > 0)
+          results
+      in
+      Alcotest.(check int)
+        "exactly one request paid for the solve (single-flight)" 1
+        (List.length paid))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1848,6 +1956,10 @@ let suite =
       server_scoped_observability_end_to_end;
     t "server: /metrics under load reconciles with the access log"
       server_metrics_under_load_reconcile;
+    t "server: warm path is oracle-free with cache hits on /metrics"
+      server_warm_path_oracle_free;
+    t "server: concurrent misses single-flight to one solve"
+      server_cache_single_flight_under_concurrency;
     t "exec: all submitted tasks run" exec_runs_everything;
     t "exec: jobs clamp" exec_jobs_clamp;
     t "exec: deadline then drain" exec_deadline_then_drain;
