@@ -881,6 +881,99 @@ let e21 () =
   check "invalidated lineage is re-paid" (inv_calls > 0)
 
 (* ------------------------------------------------------------------ *)
+(* E22: the exact-arithmetic kernel in isolation — small (native tier),
+   medium and large (limb tier, schoolbook vs Karatsuba) operand sizes,
+   plus the Rat.add reduction chain the Shapley recombination leans on.
+   Deterministic workloads; any regression here shows up before it is
+   diluted by the end-to-end sections. *)
+
+let e22 () =
+  section "E22" "Arith kernel: mul/divmod/Rat.add at three operand sizes";
+  let iters n = if quick then n / 4 else n in
+  (* Small tier: an LCG-style chain whose values stay well inside the
+     native range, so this measures the overflow-checked fast paths. *)
+  let small_n = iters 400_000 in
+  let small, t_small =
+    time (fun () ->
+        let acc = ref Bigint.zero in
+        let x = ref (Bigint.of_int 1) in
+        for _ = 1 to small_n do
+          x := Bigint.add_int (Bigint.mul_int !x 48271) 11;
+          x := snd (Bigint.divmod !x (Bigint.of_int 2147483647));
+          acc := Bigint.add !acc !x
+        done;
+        !acc)
+  in
+  row "  %-34s %8d iters %10.4f s\n" "small: native mul/divmod chain"
+    small_n t_small;
+  (* Medium tier: the 120x80-digit pair the micro section also pins. *)
+  let med_a = Bigint.of_string (String.make 120 '7') in
+  let med_b = Bigint.of_string (String.make 80 '3') in
+  let med_n = iters 20_000 in
+  let _, t_med_mul =
+    time (fun () ->
+        for _ = 1 to med_n do ignore (Bigint.mul med_a med_b) done)
+  in
+  let _, t_med_div =
+    time (fun () ->
+        for _ = 1 to med_n do ignore (Bigint.divmod med_a med_b) done)
+  in
+  row "  %-34s %8d iters %10.4f s\n" "medium: mul 120x80 digits" med_n
+    t_med_mul;
+  row "  %-34s %8d iters %10.4f s\n" "medium: divmod 120/80 digits" med_n
+    t_med_div;
+  (* Large tier: thousands of digits, deep inside Karatsuba territory. *)
+  let big_a = Bigint.of_string (String.init 2400 (fun i -> Char.chr (Char.code '1' + (i * 7 mod 9)))) in
+  let big_b = Bigint.of_string (String.init 1600 (fun i -> Char.chr (Char.code '1' + (i * 5 mod 9)))) in
+  let big_n = iters 400 in
+  let _, t_big_mul =
+    time (fun () ->
+        for _ = 1 to big_n do ignore (Bigint.mul big_a big_b) done)
+  in
+  let _, t_big_div =
+    time (fun () ->
+        for _ = 1 to big_n do ignore (Bigint.divmod big_a big_b) done)
+  in
+  row "  %-34s %8d iters %10.4f s\n" "large: mul 2400x1600 digits" big_n
+    t_big_mul;
+  row "  %-34s %8d iters %10.4f s\n" "large: divmod 2400/1600 digits" big_n
+    t_big_div;
+  (* Rat.add chain: partial harmonic sums exercise the gcd-of-denominators
+     reduction on steadily growing denominators. *)
+  let harm_terms = 120 in
+  let harm_reps = iters 200 in
+  let h, t_rat =
+    time (fun () ->
+        let h = ref Rat.zero in
+        for _ = 1 to harm_reps do
+          h := Rat.zero;
+          for k = 1 to harm_terms do
+            h := Rat.add !h (Rat.make Bigint.one (Bigint.of_int k))
+          done
+        done;
+        !h)
+  in
+  row "  %-34s %8d iters %10.4f s\n"
+    (Printf.sprintf "Rat.add: harmonic H_%d" harm_terms)
+    harm_reps t_rat;
+  check "small chain stays in the native tier"
+    (Bigint.sign small > 0 && Bigint.Internal.is_small small
+     && Bigint.lt small (Bigint.mul_int (Bigint.of_int small_n) 2147483647));
+  check "karatsuba = schoolbook on the large pair"
+    (Bigint.equal (Bigint.mul big_a big_b)
+       (Bigint.Internal.mul_schoolbook big_a big_b));
+  check "large divmod reconstructs"
+    (let q, r = Bigint.divmod big_a big_b in
+     Bigint.equal big_a (Bigint.add (Bigint.mul q big_b) r));
+  check "H_4 = 25/12"
+    (Rat.equal
+       (List.fold_left
+          (fun acc k -> Rat.add acc (Rat.make Bigint.one (Bigint.of_int k)))
+          Rat.zero [ 1; 2; 3; 4 ])
+       (Rat.make (Bigint.of_int 25) (Bigint.of_int 12)));
+  ignore h
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel) *)
 
 let micro () =
@@ -957,7 +1050,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
-    ("M", micro) ]
+    ("E22", e22); ("M", micro) ]
 
 (* The compact per-section record the regression gate (compare.ml)
    diffs against bench/baseline.json: wall-clock plus the oracle-call

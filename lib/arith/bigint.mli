@@ -4,9 +4,11 @@
     denominators and the Vandermonde systems of Lemmas 3.3 and 3.4 contain
     entries of magnitude [(2^l - 1)^k], far beyond 63-bit range.  No bignum
     library is available in this environment, so this module provides a
-    self-contained implementation (sign + little-endian magnitude in base
-    [2^15], schoolbook algorithms — adequate for the few-thousand-bit numbers
-    arising here). *)
+    self-contained two-tier implementation: values fitting a native 63-bit
+    [int] are stored unboxed with overflow-checked native arithmetic, and
+    everything larger falls back to sign + little-endian magnitude in base
+    [2^15] with Karatsuba multiplication and Knuth Algorithm D division.
+    See DESIGN.md ("Two-tier exact arithmetic"). *)
 
 type t
 
@@ -95,6 +97,11 @@ val add_int : t -> int -> t
 (** Number of bits in the magnitude ([0] for zero); used for size reporting. *)
 val bit_length : t -> int
 
+(** [shift_right t s] shifts the magnitude right by [s >= 0] bits, i.e.
+    truncates [t / 2^s] toward zero.
+    @raise Invalid_argument if [s < 0]. *)
+val shift_right : t -> int -> t
+
 (** {1 Infix operators} *)
 
 module Infix : sig
@@ -114,3 +121,19 @@ end
 
 val hash : t -> int
 val pp : Format.formatter -> t -> unit
+
+(** Test-only hooks into the representation; not for production use. *)
+module Internal : sig
+  (** [is_small t] is [true] iff [t] is stored in the unboxed native-int
+      tier.  The representation is canonical, so this must hold exactly
+      when the value fits an OCaml [int]. *)
+  val is_small : t -> bool
+
+  (** Limb count of the smaller operand above which multiplication switches
+      from schoolbook to Karatsuba. *)
+  val karatsuba_threshold : int
+
+  (** Schoolbook multiplication, bypassing Karatsuba — for differential
+      testing at sizes straddling the threshold. *)
+  val mul_schoolbook : t -> t -> t
+end

@@ -38,9 +38,45 @@ let binomial n k =
   else
     Bigint.div (factorial n) (Bigint.mul (factorial k) (factorial (n - k)))
 
+(* The direct Shapley evaluators request all n coefficients for every
+   variable — O(n^2) constructions per query, each with a big gcd — so whole
+   rows are cached copy-on-write like the factorials (an empty row is the
+   "not yet computed" sentinel; real rows have length n >= 1). *)
+let shapley_rows : Rat.t array array ref = ref [||]
+let shapley_lock = Mutex.create ()
+
+let shapley_row n =
+  let rows = !shapley_rows in
+  if n < Array.length rows && Array.length rows.(n) > 0 then rows.(n)
+  else begin
+    Mutex.lock shapley_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shapley_lock)
+      (fun () ->
+        let rows = !shapley_rows in
+        if n < Array.length rows && Array.length rows.(n) > 0 then rows.(n)
+        else begin
+          let row =
+            Array.init n (fun k ->
+                Rat.make
+                  (Bigint.mul (factorial k) (factorial (n - k - 1)))
+                  (factorial n))
+          in
+          let have = Array.length rows in
+          let rows' =
+            Array.init
+              (Stdlib.max have (n + 1))
+              (fun i -> if i < have then rows.(i) else [||])
+          in
+          rows'.(n) <- row;
+          shapley_rows := rows';
+          row
+        end)
+  end
+
 let shapley_coeff ~n k =
   if k < 0 || k > n - 1 then invalid_arg "Combi.shapley_coeff: k out of range";
-  Rat.make (Bigint.mul (factorial k) (factorial (n - k - 1))) (factorial n)
+  (shapley_row n).(k)
 
 let falling n k =
   let rec go acc i =

@@ -40,60 +40,93 @@ let vandermonde_solve ~points ~values =
     Array.init m (fun k -> Poly.coeff !c k)
   end
 
+(* LU factorization with first-nonzero partial pivoting, stored packed:
+   [mat] holds U on and above the diagonal and the elimination multipliers
+   strictly below it; [swaps.(col)] is the row exchanged with [col] at step
+   [col].  A factorization is immutable after construction, so one factor
+   can serve many [lu_solve] calls — including concurrently from the
+   [Par.map_n] domain fan-out. *)
+type lu = { swaps : int array; mat : Rat.t array array }
+
+let lu_factor a =
+  Obs.incr "linalg.lu_factors";
+  Obs.with_span "linalg.lu_factor" ~attrs:[ ("rows", Trace.Int (Array.length a)) ]
+  @@ fun () ->
+  let n = Array.length a in
+  let mat = Array.map Array.copy a in
+  let swaps = Array.make n 0 in
+  let exception Singular in
+  try
+    for col = 0 to n - 1 do
+      (* Partial pivoting: any nonzero pivot is exact over Q. *)
+      let pivot = ref (-1) in
+      (try
+         for r = col to n - 1 do
+           if not (Rat.is_zero mat.(r).(col)) then begin
+             pivot := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot < 0 then raise Singular;
+      swaps.(col) <- !pivot;
+      if !pivot <> col then begin
+        let t = mat.(col) in
+        mat.(col) <- mat.(!pivot);
+        mat.(!pivot) <- t
+      end;
+      let inv_p = Rat.inv mat.(col).(col) in
+      for r = col + 1 to n - 1 do
+        let factor = Rat.mul mat.(r).(col) inv_p in
+        mat.(r).(col) <- factor;
+        if not (Rat.is_zero factor) then
+          for c = col + 1 to n - 1 do
+            mat.(r).(c) <- Rat.sub mat.(r).(c) (Rat.mul factor mat.(col).(c))
+          done
+      done
+    done;
+    Some { swaps; mat }
+  with Singular -> None
+
+let lu_solve { swaps; mat } b =
+  let n = Array.length mat in
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: length mismatch";
+  let b = Array.copy b in
+  (* Apply the recorded transpositions in factorization order: P b. *)
+  for col = 0 to n - 1 do
+    let p = swaps.(col) in
+    if p <> col then begin
+      let t = b.(col) in
+      b.(col) <- b.(p);
+      b.(p) <- t
+    end
+  done;
+  (* Forward substitution through the unit-lower multipliers: y = L^-1 P b. *)
+  for col = 0 to n - 1 do
+    for r = col + 1 to n - 1 do
+      if not (Rat.is_zero mat.(r).(col)) then
+        b.(r) <- Rat.sub b.(r) (Rat.mul mat.(r).(col) b.(col))
+    done
+  done;
+  (* Back substitution through U. *)
+  let x = Array.make n Rat.zero in
+  for r = n - 1 downto 0 do
+    let s = ref b.(r) in
+    for c = r + 1 to n - 1 do
+      s := Rat.sub !s (Rat.mul mat.(r).(c) x.(c))
+    done;
+    x.(r) <- Rat.div !s mat.(r).(r)
+  done;
+  x
+
 let gauss_solve a b =
   Obs.incr "linalg.gauss_solves";
   Obs.with_span "linalg.gauss_solve"
     ~attrs:[ ("rows", Trace.Int (Array.length a)) ]
   @@ fun () ->
-  let n = Array.length a in
-  if n = 0 then Some [||]
-  else begin
-    let a = Array.map Array.copy a in
-    let b = Array.copy b in
-    let exception Singular in
-    try
-      for col = 0 to n - 1 do
-        (* Partial pivoting: any nonzero pivot is exact over Q. *)
-        let pivot = ref (-1) in
-        (try
-           for r = col to n - 1 do
-             if not (Rat.is_zero a.(r).(col)) then begin
-               pivot := r;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        if !pivot < 0 then raise Singular;
-        if !pivot <> col then begin
-          let t = a.(col) in
-          a.(col) <- a.(!pivot);
-          a.(!pivot) <- t;
-          let t = b.(col) in
-          b.(col) <- b.(!pivot);
-          b.(!pivot) <- t
-        end;
-        let inv_p = Rat.inv a.(col).(col) in
-        for r = col + 1 to n - 1 do
-          let factor = Rat.mul a.(r).(col) inv_p in
-          if not (Rat.is_zero factor) then begin
-            for c = col to n - 1 do
-              a.(r).(c) <- Rat.sub a.(r).(c) (Rat.mul factor a.(col).(c))
-            done;
-            b.(r) <- Rat.sub b.(r) (Rat.mul factor b.(col))
-          end
-        done
-      done;
-      let x = Array.make n Rat.zero in
-      for r = n - 1 downto 0 do
-        let s = ref b.(r) in
-        for c = r + 1 to n - 1 do
-          s := Rat.sub !s (Rat.mul a.(r).(c) x.(c))
-        done;
-        x.(r) <- Rat.div !s a.(r).(r)
-      done;
-      Some x
-    with Singular -> None
-  end
+  match lu_factor a with
+  | None -> None
+  | Some f -> Some (lu_solve f b)
 
 let mat_vec a x =
   Array.map

@@ -14,9 +14,24 @@
     @raise Invalid_argument on length mismatch or duplicate nodes. *)
 val vandermonde_solve : points:Rat.t array -> values:Rat.t array -> Rat.t array
 
+(** An LU factorization with partial pivoting ([P A = L U]), immutable once
+    built: factor a matrix once and solve for many right-hand sides, safely
+    shared across domains. *)
+type lu
+
+(** [lu_factor a] factors the square matrix [a]; [None] when singular.
+    [a] is not modified. *)
+val lu_factor : Rat.t array array -> lu option
+
+(** [lu_solve f b] solves [a x = b] for the matrix factored into [f] in
+    [O(n^2)] exact operations.  [b] is not modified.
+    @raise Invalid_argument on length mismatch. *)
+val lu_solve : lu -> Rat.t array -> Rat.t array
+
 (** [gauss_solve a b] solves the square system [a x = b] by fraction-exact
-    Gaussian elimination with partial (first-nonzero) pivoting.  Returns
-    [None] when [a] is singular.  [a] and [b] are not modified. *)
+    Gaussian elimination with partial (first-nonzero) pivoting (an
+    [lu_factor] + [lu_solve] pair).  Returns [None] when [a] is singular.
+    [a] and [b] are not modified. *)
 val gauss_solve : Rat.t array array -> Rat.t array -> Rat.t array option
 
 (** [mat_vec a x] is the matrix-vector product (for verification). *)

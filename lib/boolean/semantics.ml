@@ -16,29 +16,48 @@ let check_width n =
       (Printf.sprintf "Semantics: %d variables exceeds brute-force cap %d" n
          max_enum_vars)
 
+(** [make_eval ~vars f] is [fun mask -> f] under the valuation that sets
+    [vars.(i)] true iff bit [i] of [mask] is set.  The variable-to-bit
+    index is built once and shared across every mask, so enumeration
+    loops stay allocation-free per assignment. *)
+let make_eval ~vars f =
+  let idx = Hashtbl.create (Array.length vars) in
+  Array.iteri (fun i v -> Hashtbl.replace idx v i) vars;
+  fun mask ->
+    Formula.eval
+      (fun v ->
+         match Hashtbl.find_opt idx v with
+         | Some i -> mask land (1 lsl i) <> 0
+         | None -> false)
+      f
+
 (** [eval_mask ~vars mask f] evaluates [f] under the valuation that sets
     [vars.(i)] true iff bit [i] of [mask] is set. *)
-let eval_mask ~vars mask f =
-  let table = Hashtbl.create (Array.length vars) in
-  Array.iteri (fun i v -> Hashtbl.replace table v (mask land (1 lsl i) <> 0)) vars;
-  Formula.eval (fun v -> try Hashtbl.find table v with Not_found -> false) f
+let eval_mask ~vars mask f = make_eval ~vars f mask
+
+(** [fold_model_masks ~vars f init step] folds [step] over all models of
+    [f], passed as bit masks over [vars] — the allocation-free core of
+    {!fold_models}. *)
+let fold_model_masks ~vars f init step =
+  let n = Array.length vars in
+  check_width n;
+  let ev = make_eval ~vars f in
+  let acc = ref init in
+  for mask = 0 to (1 lsl n) - 1 do
+    if ev mask then acc := step !acc mask
+  done;
+  !acc
 
 (** [fold_models ~vars f init step] folds [step] over all models of [f]
     within the universe [vars]; models are passed as variable sets. *)
 let fold_models ~vars f init step =
   let n = Array.length vars in
-  check_width n;
-  let acc = ref init in
-  for mask = 0 to (1 lsl n) - 1 do
-    if eval_mask ~vars mask f then begin
+  fold_model_masks ~vars f init (fun acc mask ->
       let s = ref Vset.empty in
       for i = 0 to n - 1 do
         if mask land (1 lsl i) <> 0 then s := Vset.add vars.(i) !s
       done;
-      acc := step !acc !s
-    end
-  done;
-  !acc
+      step acc !s)
 
 (** [models ~vars f] lists all models as variable sets (exponential!). *)
 let models ~vars f =
@@ -51,9 +70,10 @@ let equivalent f g =
   let vars = Array.of_list (Vset.elements universe) in
   let n = Array.length vars in
   check_width n;
+  let ev_f = make_eval ~vars f and ev_g = make_eval ~vars g in
   let ok = ref true in
   for mask = 0 to (1 lsl n) - 1 do
-    if eval_mask ~vars mask f <> eval_mask ~vars mask g then ok := false
+    if ev_f mask <> ev_g mask then ok := false
   done;
   !ok
 

@@ -12,6 +12,14 @@ val max_enum_vars : int
     [vars.(i)] true iff bit [i] of [mask] is set. *)
 val eval_mask : vars:int array -> int -> Formula.t -> bool
 
+(** [fold_model_masks ~vars f init step] folds [step] over all models of
+    [f], passed as bit masks over [vars] (bit [i] set means [vars.(i)]
+    true).  The allocation-free core of {!fold_models}: nothing is
+    allocated per assignment beyond what [Formula.eval] itself does.
+    @raise Invalid_argument beyond {!max_enum_vars} variables. *)
+val fold_model_masks :
+  vars:int array -> Formula.t -> 'a -> ('a -> int -> 'a) -> 'a
+
 (** [fold_models ~vars f init step] folds [step] over all models of [f]
     within the universe [vars]; models are passed as variable sets.
     @raise Invalid_argument beyond {!max_enum_vars} variables. *)

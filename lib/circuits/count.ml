@@ -22,10 +22,7 @@ let count_by_size_circuit root =
         | Circuit.Cfalse -> Kvec.const_false ~n:0
         | Circuit.Cvar _ -> Kvec.singleton_true
         | Circuit.Cnot h -> Kvec.complement (go h)
-        | Circuit.Cand gs ->
-          List.fold_left
-            (fun acc h -> Kvec.conv acc (go h))
-            (Kvec.const_true ~n:0) gs
+        | Circuit.Cand gs -> Kvec.conv_list (List.map go gs)
         | Circuit.Cor (Circuit.Deterministic, gs) ->
           List.fold_left
             (fun acc h ->
@@ -41,11 +38,7 @@ let count_by_size_circuit root =
              no-op ([extra = 0]) for every constructible circuit; it
              pins the invariant so a future scope change cannot silently
              complement over the wrong universe. *)
-          let non =
-            List.fold_left
-              (fun acc h -> Kvec.conv acc (Kvec.complement (go h)))
-              (Kvec.const_true ~n:0) gs
-          in
+          let non = Kvec.conv_list (List.map (fun h -> Kvec.complement (go h)) gs) in
           Kvec.complement
             (Kvec.extend non
                ~extra:(Vset.cardinal g.vars - Kvec.universe_size non))

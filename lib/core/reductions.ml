@@ -144,24 +144,31 @@ let lemma34_weight ~n ~l ~j =
   done;
   Rat.make num !den
 
-(* Recover, for one variable position, the differences
-   d_j = #_j F[X_i:=1] − #_j F[X_i:=0] for j = 0..n−1 from the oracle
-   values Shap(F^(l,i), Z_i) = Σ_j M[l,j] d_j, l = 1..n. *)
-let differences_for_position ~n ~shap_subst ~pos =
+(* LU-factor the Lemma 3.4 system once per query: the matrix M[l,j] depends
+   only on [n], not on the variable position, so a single factorization is
+   shared (it is immutable) across all n per-position solves — including the
+   [Par.map_n] fan-out — turning each recovery into an O(n^2) substitution. *)
+let lemma34_factor ~n =
   let matrix =
     Array.init n (fun row ->
         Array.init n (fun j -> lemma34_weight ~n ~l:(row + 1) ~j))
   in
-  let values = Array.init n (fun idx -> shap_subst ~l:(idx + 1) ~pos) in
-  match Linalg.gauss_solve matrix values with
+  match Linalg.lu_factor matrix with
   | None -> failwith "count_via_shap: singular system (impossible)"
-  | Some d ->
-    Array.map
-      (fun r ->
-         if not (Rat.is_integer r) then
-           failwith "count_via_shap: non-integral difference (broken oracle?)";
-         Rat.to_bigint r)
-      d
+  | Some f -> f
+
+(* Recover, for one variable position, the differences
+   d_j = #_j F[X_i:=1] − #_j F[X_i:=0] for j = 0..n−1 from the oracle
+   values Shap(F^(l,i), Z_i) = Σ_j M[l,j] d_j, l = 1..n. *)
+let differences_for_position ~lu ~n ~shap_subst ~pos =
+  let values = Array.init n (fun idx -> shap_subst ~l:(idx + 1) ~pos) in
+  let d = Linalg.lu_solve lu values in
+  Array.map
+    (fun r ->
+       if not (Rat.is_integer r) then
+         failwith "count_via_shap: non-integral difference (broken oracle?)";
+       Rat.to_bigint r)
+    d
 
 let kcounts_via_shap ~n ~f_zero ~shap_subst =
   (* Claim 3.6: Σ_i d_k(i) = (k+1) #_{k+1} F − (n−k) #_k F; telescope from
@@ -170,11 +177,12 @@ let kcounts_via_shap ~n ~f_zero ~shap_subst =
   (* The n per-position difference recoveries (n oracle calls each) are
      independent: fan out ([--jobs]), then accumulate in index order so
      the sums are reproducible. *)
+  let lu = lemma34_factor ~n in
   let ds =
     Par.map_n
       (fun pos ->
          Obs.phase "lemma3.4.position" ~attrs:[ ("pos", Trace.Int pos) ];
-         differences_for_position ~n ~shap_subst ~pos)
+         differences_for_position ~lu ~n ~shap_subst ~pos)
       n
   in
   Array.iter

@@ -73,15 +73,13 @@ and kcount_compound st f =
     let v = pick_var f in
     let n = Vset.cardinal (Formula.vars f) in
     st.branches <- st.branches + 1;
-    let branch bit shift_vec =
+    let branch bit =
       let g = Formula.restrict v bit f in
       let ng = Vset.cardinal (Formula.vars g) in
       let kv = Kvec.extend (kcount st g) ~extra:(n - 1 - ng) in
-      Kvec.conv kv shift_vec
+      Kvec.with_var kv ~pol:bit
     in
-    Kvec.add
-      (branch false Kvec.singleton_false)
-      (branch true Kvec.singleton_true)
+    Kvec.add (branch false) (branch true)
   | groups ->
     (* Variable-disjoint components: conjunction convolves, disjunction
        multiplies non-model vectors. *)
@@ -98,16 +96,10 @@ and kcount_compound st f =
     in
     let parts = List.map part groups in
     (match f with
-     | Formula.And _ ->
-       List.fold_left Kvec.conv (Kvec.const_true ~n:0) parts
+     | Formula.And _ -> Kvec.conv_list parts
      | Formula.Or _ ->
        (* all − Π non-models *)
-       let non =
-         List.fold_left
-           (fun acc p -> Kvec.conv acc (Kvec.complement p))
-           (Kvec.const_true ~n:0) parts
-       in
-       Kvec.complement non
+       Kvec.complement (Kvec.conv_list (List.map Kvec.complement parts))
      | _ -> assert false)
 
 let fresh_state () = { cache = Hashtbl.create 256; branches = 0; cache_hits = 0 }

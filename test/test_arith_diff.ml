@@ -1,0 +1,294 @@
+(** Differential harness for the two-tier [Bigint] kernel.
+
+    A deliberately naive base-10 reference (sign + decimal digit array,
+    schoolbook everything) recomputes add/sub/mul/divmod/pow on random
+    operands skewed toward the small<->big promotion boundary
+    ([min_int]/[max_int] and neighbours) where the native fast paths hand
+    over to the magnitude kernel.  Karatsuba is pitted against the
+    schoolbook multiplier at sizes straddling its threshold, and the
+    counting pipeline is checked bit-identical at [jobs ∈ {1, 4}] on
+    counts that overflow 62 bits.
+
+    Deterministic seeds; iteration counts scale with
+    [SHAPMC_QCHECK_COUNT] exactly like [Test_differential]. *)
+
+open Helpers
+
+let iterations default =
+  match Sys.getenv_opt "SHAPMC_QCHECK_COUNT" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> default)
+  | None -> default
+
+let dtest ~seed ~count name arb prop =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 4242; seed |])
+    (QCheck.Test.make ~count:(iterations count) ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Reference arithmetic: sign + little-endian decimal digits.          *)
+
+module Ref = struct
+  type t = int * int array (* sign in {-1,0,1}; canonical: no leading 0s *)
+
+  let make s d =
+    let n = ref (Array.length d) in
+    while !n > 0 && d.(!n - 1) = 0 do decr n done;
+    if !n = 0 then (0, [||]) else (s, Array.sub d 0 !n)
+
+  let of_string str =
+    let neg, start = if str.[0] = '-' then (true, 1) else (false, 0) in
+    let len = String.length str - start in
+    let d =
+      Array.init len (fun i ->
+          Char.code str.[String.length str - 1 - i] - Char.code '0')
+    in
+    make (if neg then -1 else 1) d
+
+  let to_string (s, d) =
+    if Array.length d = 0 then "0"
+    else
+      (if s < 0 then "-" else "")
+      ^ String.init (Array.length d) (fun i ->
+            Char.chr (d.(Array.length d - 1 - i) + Char.code '0'))
+
+  let cmp_mag a b =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then compare la lb
+    else begin
+      let rec go i =
+        if i < 0 then 0
+        else if a.(i) <> b.(i) then compare a.(i) b.(i)
+        else go (i - 1)
+      in
+      go (la - 1)
+    end
+
+  let add_mag a b =
+    let l = max (Array.length a) (Array.length b) in
+    let out = Array.make (l + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to l - 1 do
+      let s =
+        (if i < Array.length a then a.(i) else 0)
+        + (if i < Array.length b then b.(i) else 0)
+        + !carry
+      in
+      out.(i) <- s mod 10;
+      carry := s / 10
+    done;
+    out.(l) <- !carry;
+    out
+
+  (* requires a >= b *)
+  let sub_mag a b =
+    let out = Array.make (Array.length a) 0 in
+    let borrow = ref 0 in
+    for i = 0 to Array.length a - 1 do
+      let d = a.(i) - (if i < Array.length b then b.(i) else 0) - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + 10;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done;
+    out
+
+  let mul_mag a b =
+    if Array.length a = 0 || Array.length b = 0 then [||]
+    else begin
+      let out = Array.make (Array.length a + Array.length b) 0 in
+      for i = 0 to Array.length a - 1 do
+        let carry = ref 0 in
+        for j = 0 to Array.length b - 1 do
+          let v = out.(i + j) + (a.(i) * b.(j)) + !carry in
+          out.(i + j) <- v mod 10;
+          carry := v / 10
+        done;
+        out.(i + Array.length b) <- out.(i + Array.length b) + !carry
+      done;
+      out
+    end
+
+  (* Long division by trial subtraction of the shifted divisor (at most 9
+     subtractions per output digit). *)
+  let divmod_mag a b =
+    let shift d k = Array.append (Array.make k 0) d in
+    let trim d = snd (make 1 d) in
+    let q = Array.make (Array.length a) 0 in
+    let r = ref (trim a) in
+    for k = Array.length a - Array.length b downto 0 do
+      if k >= 0 then begin
+        let bs = trim (shift b k) in
+        while cmp_mag bs !r <= 0 do
+          q.(k) <- q.(k) + 1;
+          r := trim (sub_mag !r bs)
+        done
+      end
+    done;
+    (q, !r)
+
+  let add (sa, da) (sb, db) =
+    if sa = 0 then (sb, db)
+    else if sb = 0 then (sa, da)
+    else if sa = sb then make sa (add_mag da db)
+    else begin
+      match cmp_mag da db with
+      | 0 -> (0, [||])
+      | c when c > 0 -> make sa (sub_mag da db)
+      | _ -> make sb (sub_mag db da)
+    end
+
+  let neg (s, d) = (-s, d)
+  let sub a b = add a (neg b)
+  let mul (sa, da) (sb, db) = make (sa * sb) (mul_mag da db)
+
+  (* Truncated toward zero; sign of remainder = sign of dividend. *)
+  let divmod (sa, da) (sb, db) =
+    let qm, rm = divmod_mag da db in
+    (make (sa * sb) qm, make sa rm)
+
+  let pow b e =
+    let rec go acc i = if i = e then acc else go (mul acc b) (i + 1) in
+    go (1, [| 1 |]) 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Operand generator: decimal strings, heavily weighted toward the
+   promotion boundary. *)
+
+let gen_operand =
+  let open QCheck.Gen in
+  let boundary =
+    oneofl
+      [ string_of_int min_int; string_of_int max_int;
+        string_of_int (min_int + 1); string_of_int (max_int - 1);
+        "4611686018427387904" (* 2^62 *); "-4611686018427387904";
+        "4611686018427387903"; "0"; "1"; "-1"; "32768"; "-32768" ]
+  in
+  let near_boundary =
+    let* base = oneofl [ min_int; max_int ] in
+    let* off = int_range (-4) 4 in
+    return (string_of_int (base + (if base > 0 then -abs off else abs off)))
+  in
+  let random_decimal =
+    let* digits = int_range 1 80 in
+    let* neg = bool in
+    let* first = int_range 1 9 in
+    let* rest = list_size (return (digits - 1)) (int_range 0 9) in
+    return
+      ((if neg then "-" else "")
+       ^ string_of_int first
+       ^ String.concat "" (List.map string_of_int rest))
+  in
+  frequency [ (3, boundary); (3, near_boundary); (4, random_decimal) ]
+
+let arb_operand = QCheck.make ~print:Fun.id gen_operand
+
+let check_same ctx expected got =
+  if String.equal expected got then true
+  else QCheck.Test.fail_reportf "%s: reference %s, bigint %s" ctx expected got
+
+(* ------------------------------------------------------------------ *)
+
+let op_tests =
+  let pair = QCheck.pair arb_operand arb_operand in
+  [ dtest ~seed:1 ~count:200 "add/sub match the decimal reference" pair
+      (fun (a, b) ->
+        let x = Bigint.of_string a and y = Bigint.of_string b in
+        let rx = Ref.of_string a and ry = Ref.of_string b in
+        check_same "add" (Ref.to_string (Ref.add rx ry))
+          (Bigint.to_string (Bigint.add x y))
+        && check_same "sub" (Ref.to_string (Ref.sub rx ry))
+             (Bigint.to_string (Bigint.sub x y)));
+    dtest ~seed:2 ~count:200 "mul matches the decimal reference" pair
+      (fun (a, b) ->
+        let x = Bigint.of_string a and y = Bigint.of_string b in
+        let rx = Ref.of_string a and ry = Ref.of_string b in
+        check_same "mul" (Ref.to_string (Ref.mul rx ry))
+          (Bigint.to_string (Bigint.mul x y)));
+    dtest ~seed:3 ~count:200 "divmod matches the decimal reference" pair
+      (fun (a, b) ->
+        QCheck.assume (b <> "0");
+        let x = Bigint.of_string a and y = Bigint.of_string b in
+        let rx = Ref.of_string a and ry = Ref.of_string b in
+        let q, r = Bigint.divmod x y in
+        let rq, rr = Ref.divmod rx ry in
+        check_same "quot" (Ref.to_string rq) (Bigint.to_string q)
+        && check_same "rem" (Ref.to_string rr) (Bigint.to_string r));
+    dtest ~seed:4 ~count:60 "pow matches the decimal reference"
+      (QCheck.pair arb_operand (QCheck.int_range 0 12))
+      (fun (a, e) ->
+        QCheck.assume (String.length a <= 20);
+        let x = Bigint.of_string a and rx = Ref.of_string a in
+        check_same "pow" (Ref.to_string (Ref.pow rx e))
+          (Bigint.to_string (Bigint.pow x e)));
+    dtest ~seed:5 ~count:200 "canonical tier at the boundary" arb_operand
+      (fun a ->
+        let x = Bigint.of_string a in
+        let fits =
+          Bigint.leq (Bigint.abs x) (Bigint.of_int max_int)
+          || Bigint.equal x (Bigint.of_int min_int)
+        in
+        Bigint.Internal.is_small x = fits) ]
+
+(* ------------------------------------------------------------------ *)
+(* Karatsuba vs schoolbook, straddling the threshold.  The threshold is
+   in limbs of 15 bits (~4.5 decimal digits each). *)
+
+let gen_straddle =
+  let open QCheck.Gen in
+  let digits_of_limbs l = Stdlib.max 1 (l * 45 / 10) in
+  let t = Bigint.Internal.karatsuba_threshold in
+  let* limbs = int_range (Stdlib.max 1 (t - 8)) (3 * t) in
+  let* neg = bool in
+  let* first = int_range 1 9 in
+  let* rest =
+    list_size (return (digits_of_limbs limbs - 1)) (int_range 0 9)
+  in
+  return
+    ((if neg then "-" else "")
+     ^ string_of_int first
+     ^ String.concat "" (List.map string_of_int rest))
+
+let kara_tests =
+  [ dtest ~seed:6 ~count:60 "karatsuba = schoolbook across the threshold"
+      (QCheck.pair
+         (QCheck.make ~print:Fun.id gen_straddle)
+         (QCheck.make ~print:Fun.id gen_straddle))
+      (fun (a, b) ->
+        let x = Bigint.of_string a and y = Bigint.of_string b in
+        Bigint.equal (Bigint.mul x y) (Bigint.Internal.mul_schoolbook x y)) ]
+
+(* ------------------------------------------------------------------ *)
+(* jobs-independence: stratified counts through the parallel fan-out
+   must be bit-identical at jobs 1 and 4, on counts past 62 bits. *)
+
+let with_jobs ~jobs f =
+  Par.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Par.set_jobs 1) f
+
+let jobs_tests =
+  [ dtest ~seed:7 ~count:10 "counting bit-identical at jobs 1 and 4"
+      (arb_formula ~nvars:8 ~depth:4)
+      (fun f ->
+        (* Pad the universe to 70 variables so the binomial-smoothing
+           counts overflow the native tier (C(70,35) > 2^62). *)
+        let vars = List.init 70 succ in
+        let run () =
+          let v = Dpll.count_by_size_universe ~vars f in
+          let shap =
+            Par.map
+              (fun l -> Bigint.mul (Kvec.get v l) (Kvec.get v (l + 1)))
+              [| 10; 20; 35; 50 |]
+          in
+          (Kvec.to_array v, shap)
+        in
+        let v1, s1 = with_jobs ~jobs:1 run in
+        let v4, s4 = with_jobs ~jobs:4 run in
+        Array.for_all2 Bigint.equal v1 v4 && Array.for_all2 Bigint.equal s1 s4)
+  ]
+
+let suite = op_tests @ kara_tests @ jobs_tests

@@ -94,7 +94,30 @@ let unit_tests =
         Alcotest.(check (float 1e-6)) "1e3" 1000.0 (Bigint.to_float (bi 1000));
         Alcotest.(check (float 1e6)) "2^40"
           (Float.pow 2.0 40.0)
-          (Bigint.to_float (Bigint.pow (bi 2) 40)))
+          (Bigint.to_float (Bigint.pow (bi 2) 40)));
+    t "to_float huge magnitude is monotone-ish" (fun () ->
+        let x = Bigint.pow (bi 10) 300 in
+        let f = Bigint.to_float x in
+        Alcotest.(check bool) "finite" true (Float.is_finite f);
+        Alcotest.(check (float 1e-9)) "log10" 300.0 (Float.log10 f);
+        Alcotest.(check bool) "overflow to inf eventually" true
+          (Bigint.to_float (Bigint.pow (bi 10) 4000) = Float.infinity));
+    t "mul_int min_int regression" (fun () ->
+        (* Stdlib.abs min_int is still negative; the old single-limb path
+           scrambled the limbs.  Expected values via the general mul. *)
+        let cases = [ bi 3; bi (-1); bs "987654321987654321987654321";
+                      Bigint.neg (bs "340282366920938463463374607431768211456") ] in
+        List.iter
+          (fun x ->
+             Alcotest.check bigint
+               (Bigint.to_string x ^ " * min_int")
+               (Bigint.mul x (bi min_int))
+               (Bigint.mul_int x min_int))
+          cases;
+        Alcotest.check bigint "round trip /"
+          (bs "987654321987654321987654321")
+          (Bigint.div (Bigint.mul_int (bs "987654321987654321987654321") min_int)
+             (bi min_int)))
   ]
 
 (* Property tests against the native-int oracle (all operands chosen so
@@ -144,4 +167,50 @@ let property_tests =
         Bigint.bit_length (Bigint.mul_int a 2) = Bigint.bit_length a + 1)
   ]
 
-let suite = unit_tests @ property_tests
+(* Native ints clustered at the promotion boundary (min_int/max_int). *)
+let arb_boundary_int =
+  QCheck.make ~print:string_of_int
+    QCheck.Gen.(
+      frequency
+        [ (2, oneofl [ min_int; min_int + 1; max_int; max_int - 1; 0; 1; -1 ]);
+          (3, map (fun k -> min_int + k) (int_range 0 1000));
+          (3, map (fun k -> max_int - k) (int_range 0 1000));
+          (2, int) ])
+
+(* The representation is canonical exactly when the unboxed tier is used iff
+   the value fits a native int; [compare] is value-based, so this check does
+   not depend on the tier. *)
+let canonical v =
+  let fits =
+    Bigint.leq (Bigint.abs v) (Bigint.of_int max_int)
+    || Bigint.equal v (Bigint.of_int min_int)
+  in
+  Bigint.Internal.is_small v = fits
+
+let boundary_tests =
+  let pair = QCheck.pair arb_boundary_int arb_boundary_int in
+  [ qtest "mul_int matches mul at boundary ints"
+      (QCheck.pair arb_big arb_boundary_int)
+      (fun (x, k) -> Bigint.equal (Bigint.mul_int x k) (Bigint.mul x (bi k)));
+    qtest "add/sub/mul stay canonical at the boundary" pair (fun (a, b) ->
+        List.for_all canonical
+          [ Bigint.add (bi a) (bi b); Bigint.sub (bi a) (bi b);
+            Bigint.mul (bi a) (bi b); Bigint.neg (bi a) ]);
+    qtest "divmod reconstructs at the boundary" pair (fun (a, b) ->
+        QCheck.assume (b <> 0);
+        let q, r = Bigint.divmod (bi a) (bi b) in
+        canonical q && canonical r
+        && Bigint.equal (bi a) (Bigint.add (Bigint.mul q (bi b)) r));
+    qtest "add matches a two-word oracle at the boundary" pair (fun (a, b) ->
+        (* Split-add oracle: (a + b) computed via halves can't overflow. *)
+        let half x = (x asr 1, x land 1) in
+        let ha, la = half a and hb, lb = half b in
+        let expect =
+          Bigint.add
+            (Bigint.mul_int (Bigint.add_int (bi ha) hb) 2)
+            (bi (la + lb))
+        in
+        Bigint.equal expect (Bigint.add (bi a) (bi b)))
+  ]
+
+let suite = unit_tests @ property_tests @ boundary_tests

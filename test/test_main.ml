@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "shapmc"
     [ ("bigint", Test_bigint.suite);
+      ("arith-diff", Test_arith_diff.suite);
       ("rat", Test_rat.suite);
       ("arith", Test_arith_more.suite);
       ("formula", Test_formula.suite);

@@ -69,4 +69,31 @@ let property_tests =
         Rat.equal a (Rat.of_string (Rat.to_string a)))
   ]
 
-let suite = unit_tests @ property_tests
+(* Regression for the serve-layer NaN: when numerator and denominator both
+   exceed float range, the old [to_float] computed inf /. inf. *)
+let to_float_tests =
+  [ t "to_float of huge-factorial rationals is finite" (fun () ->
+        let f200 = Combi.factorial 200 in
+        let x = Rat.make (Bigint.add f200 Bigint.one) f200 in
+        let f = Rat.to_float x in
+        Alcotest.(check bool) "finite" true (Float.is_finite f);
+        Alcotest.(check (float 1e-12)) "~1" 1.0 f;
+        let y = Rat.make (Bigint.mul f200 (Bigint.of_int 3)) (Bigint.mul f200 (Bigint.of_int 4)) in
+        Alcotest.(check (float 1e-12)) "3/4" 0.75 (Rat.to_float y);
+        let p = Bigint.pow Bigint.two 5000 in
+        let z = Rat.make (Bigint.mul p (Bigint.of_int 7)) (Bigint.succ p) in
+        Alcotest.(check (float 1e-12)) "~7" 7.0 (Rat.to_float z));
+    t "to_float saturates when the quotient really overflows" (fun () ->
+        let p = Bigint.pow Bigint.two 5000 in
+        Alcotest.(check bool) "inf" true
+          (Rat.to_float (Rat.make (Bigint.mul p p) p) = Float.infinity);
+        Alcotest.(check (float 0.0)) "0 underflow" 0.0
+          (Rat.to_float (Rat.make p (Bigint.mul p p))));
+    qtest "to_float agrees with small-rational division" arb_rat (fun a ->
+        let expect =
+          Bigint.to_float (Rat.num a) /. Bigint.to_float (Rat.den a)
+        in
+        Rat.to_float a = expect)
+  ]
+
+let suite = unit_tests @ property_tests @ to_float_tests

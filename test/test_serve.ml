@@ -432,6 +432,21 @@ let json_roundtrip =
         QCheck.Test.fail_reportf "serializer emitted unparseable %s"
           (J.to_string v))
 
+let json_rat_huge_factorial () =
+  (* End-to-end regression for Rat.to_float: with numerator and denominator
+     both past float range the old code computed inf /. inf = nan, which
+     the serializer renders as null — chart consumers saw no value for a
+     perfectly finite Shapley ratio. *)
+  let f200 = Combi.factorial 200 in
+  let x = Rat.make (Bigint.add f200 Bigint.one) f200 in
+  let rendered = J.to_string (Json_codec.rat x) in
+  match J.member "float" (J.parse rendered) with
+  | Some (J.Float f) ->
+    Alcotest.(check bool) "finite" true (Float.is_finite f);
+    Alcotest.(check (float 1e-9)) "~1" 1.0 f
+  | Some J.Null -> Alcotest.failf "float field rendered null: %s" rendered
+  | _ -> Alcotest.failf "unexpected float field in %s" rendered
+
 let json_escaping_goldens () =
   Alcotest.(check string) "named + unicode escapes"
     {|"a\"b\\c\nd\u0001"|}
@@ -1920,6 +1935,8 @@ let suite =
     fuzz_header_cap_exact;
     json_roundtrip;
     t "json: escaping goldens" json_escaping_goldens;
+    t "json: huge-factorial rational renders a finite float"
+      json_rat_huge_factorial;
     t "router: dispatch, 404/405/500" router_dispatch;
     t "api: healthz and query catalog" api_healthz_queries;
     t "api: facts parameter errors" api_facts_errors;
