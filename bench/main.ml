@@ -974,6 +974,202 @@ let e22 () =
   ignore h
 
 (* ------------------------------------------------------------------ *)
+(* E23: the observable estimator suite — samples-to-ε on a pinned seed
+   (the convergence-rate regression the gate guards: each estimator's
+   batches are ledgered as [estimator.<name>] oracle calls, so
+   baseline.json pins batch counts and per-batch sample totals), the
+   jobs-independence contract, and the satellite micro-assert that the
+   table-based variable→index mapping in [shap_sample] reproduces the
+   old linear-scan sampler exactly. *)
+
+(* The pre-optimization shap_sample: identical RNG stream and arithmetic,
+   inner linear scan for the variable→index mapping.  Kept here as the
+   reference for the micro-assert (and to measure what the fix bought). *)
+let shap_sample_linear_scan ~seed ~delta ~samples ~vars f =
+  let st = Random.State.make [| seed |] in
+  let sorted = Array.of_list (List.sort compare vars) in
+  let n = Array.length sorted in
+  let totals = Array.make n 0 in
+  let perm = Array.copy sorted in
+  for _ = 1 to samples do
+    for i = n - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    let prefix = ref Vset.empty in
+    let value = ref (Formula.eval_set Vset.empty f) in
+    Array.iter
+      (fun v ->
+         let next = Vset.add v !prefix in
+         let value' = Formula.eval_set next f in
+         let marginal = Bool.to_int value' - Bool.to_int !value in
+         let rec idx i = if sorted.(i) = v then i else idx (i + 1) in
+         let i = idx 0 in
+         totals.(i) <- totals.(i) + marginal;
+         prefix := next;
+         value := value')
+      perm
+  done;
+  let m = float_of_int samples in
+  let half_width = 2.0 *. sqrt (log (2.0 /. delta) /. (2.0 *. m)) in
+  Array.to_list
+    (Array.mapi
+       (fun i v ->
+          { Sampling.variable = sorted.(i);
+            value = float_of_int v /. m;
+            half_width })
+       totals)
+
+let e23 () =
+  section "E23"
+    "Observable estimators: samples-to-eps, early stopping, jobs identity";
+  let f =
+    Parser.formula_of_string_exn "(x1 & x2) | (x3 & x4) | (x1 & x5 & x6)"
+  in
+  let vars = List.init 6 succ in
+  let exact = Naive.shap_subsets ~vars f in
+  let eps = 0.05 and delta = 0.05 in
+  row "  target: eps=%.2f delta=%.2f (Hoeffding budget: %d samples)\n" eps
+    delta
+    (Sampling.samples_for ~eps ~delta);
+  row "  %-13s %-9s %-9s %-12s %-11s %-9s %-8s\n" "estimator" "samples"
+    "evals" "half-width" "checkpoints" "max-err" "in-CI";
+  let reports =
+    List.map
+      (fun est ->
+         let r =
+           Sampling.shap_estimate ~estimator:est ~seed:23 ~eps ~delta ~vars f
+         in
+         let hw = Convergence.max_certified_half_width r.Sampling.monitor in
+         let max_err =
+           List.fold_left
+             (fun acc (e : Sampling.estimate) ->
+                let truth =
+                  Rat.to_float (List.assoc e.Sampling.variable exact)
+                in
+                Float.max acc (Float.abs (e.Sampling.value -. truth)))
+             0.0 r.Sampling.estimates
+         in
+         let cps = Convergence.checkpoints r.Sampling.monitor in
+         row "  %-13s %-9d %-9d %-12.5f %-11d %-9.5f %-8b\n"
+           (Sampling.estimator_name est)
+           r.Sampling.samples_used r.Sampling.evals hw (List.length cps)
+           max_err (max_err <= hw);
+         (est, r, cps))
+      Sampling.[ Permutation; Truncated; Antithetic; Stratified ]
+  in
+  let get est =
+    let _, r, cps = List.find (fun (e, _, _) -> e = est) reports in
+    (r, cps)
+  in
+  let perm_r, _ = get Sampling.Permutation in
+  let trunc_r, trunc_cps = get Sampling.Truncated in
+  check "truncated estimates = permutation estimates (same RNG stream)"
+    (List.for_all2
+       (fun (a : Sampling.estimate) (b : Sampling.estimate) ->
+          a.Sampling.variable = b.Sampling.variable
+          && a.Sampling.value = b.Sampling.value)
+       perm_r.Sampling.estimates trunc_r.Sampling.estimates);
+  check "truncation saves oracle evaluations"
+    (trunc_r.Sampling.evals < perm_r.Sampling.evals);
+  check "every estimator stopped at or before the Hoeffding budget"
+    (List.for_all
+       (fun (_, r, _) ->
+          r.Sampling.samples_used <= Sampling.samples_for ~eps ~delta)
+       reports);
+  check "checkpoint samples strictly increase, half-widths never widen"
+    (List.for_all
+       (fun (_, _, cps) ->
+          let rec ok = function
+            | a :: (b :: _ as rest) ->
+              a.Convergence.k_samples < b.Convergence.k_samples
+              && b.Convergence.k_max_half_width
+                 <= a.Convergence.k_max_half_width
+              && ok rest
+            | _ -> true
+          in
+          ok cps)
+       reports);
+  check "truncated run converged below eps"
+    (trunc_r.Sampling.converged
+     && Convergence.max_certified_half_width trunc_r.Sampling.monitor <= eps
+     && List.length trunc_cps > 0);
+  (* jobs-independence: the acceptance contract of the estimator engine *)
+  let at_jobs jobs =
+    Par.set_jobs jobs;
+    let r =
+      Sampling.shap_estimate ~estimator:Sampling.Antithetic ~seed:23 ~eps
+        ~delta ~vars f
+    in
+    Par.set_jobs 1;
+    r
+  in
+  let r1 = at_jobs 1 and r4 = at_jobs 4 in
+  check "antithetic at jobs=4 is bit-identical to jobs=1"
+    (r1.Sampling.samples_used = r4.Sampling.samples_used
+     && List.for_all2
+          (fun (a : Sampling.estimate) (b : Sampling.estimate) ->
+             a.Sampling.value = b.Sampling.value
+             && a.Sampling.half_width = b.Sampling.half_width)
+          r1.Sampling.estimates r4.Sampling.estimates);
+  (* satellite micro-assert: the table-based index mapping reproduces the
+     linear-scan sampler bit for bit, and what the O(n²)→O(n) fix buys *)
+  let micro_n = if quick then 48 else 96 in
+  let micro_samples = if quick then 150 else 300 in
+  let wide =
+    Formula.or_
+      (List.init (micro_n / 2) (fun i ->
+           Formula.conj2 (Formula.var ((2 * i) + 1)) (Formula.var ((2 * i) + 2))))
+  in
+  let wide_vars = List.init micro_n succ in
+  let old_est, t_old =
+    time (fun () ->
+        shap_sample_linear_scan ~seed:5 ~delta:0.05 ~samples:micro_samples
+          ~vars:wide_vars wide)
+  in
+  let new_est, t_new =
+    time (fun () ->
+        Sampling.shap_sample ~seed:5 ~delta:0.05 ~samples:micro_samples
+          ~vars:wide_vars wide)
+  in
+  row "  index-mapping micro (n=%d, %d samples): linear scan %.4f s, \
+       table %.4f s\n"
+    micro_n micro_samples t_old t_new;
+  check "table-based shap_sample = linear-scan shap_sample"
+    (List.for_all2
+       (fun (a : Sampling.estimate) (b : Sampling.estimate) ->
+          a.Sampling.variable = b.Sampling.variable
+          && a.Sampling.value = b.Sampling.value
+          && a.Sampling.half_width = b.Sampling.half_width)
+       old_est new_est);
+  (* Karp–Luby through the same convergence stream *)
+  let d =
+    [ Vset.of_list [ 1; 2 ]; Vset.of_list [ 3; 4 ]; Vset.of_list [ 1; 5; 6 ] ]
+  in
+  let kl_samples = if quick then 2000 else 8000 in
+  let monitor =
+    Convergence.create ~ci:Convergence.Bernstein ~delta:0.05 ~range:1.0
+      ~estimator:"karp-luby" ~players:1 ()
+  in
+  let kl =
+    Karp_luby.count_samples ~monitor ~seed:23 ~samples:kl_samples ~vars:vars d
+  in
+  Convergence.finish monitor;
+  let kl_exact = Bigint.to_float (Dpll.count_universe ~vars f) in
+  row "  karp-luby: %d samples, estimate %.1f (exact %.0f), coverage \
+       half-width %.5f, %d checkpoints\n"
+    kl.Karp_luby.samples kl.Karp_luby.value kl_exact
+    (Convergence.max_certified_half_width monitor)
+    (Convergence.emitted monitor);
+  check "karp-luby convergence stream advanced to the sample count"
+    (Convergence.samples monitor = kl_samples
+     && Convergence.emitted monitor > 0);
+  check "karp-luby estimate within 10% of exact"
+    (Float.abs (kl.Karp_luby.value -. kl_exact) <= 0.1 *. kl_exact)
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (bechamel) *)
 
 let micro () =
@@ -1050,7 +1246,7 @@ let experiments =
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
     ("E17", e17); ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21);
-    ("E22", e22); ("M", micro) ]
+    ("E22", e22); ("E23", e23); ("M", micro) ]
 
 (* The compact per-section record the regression gate (compare.ml)
    diffs against bench/baseline.json: wall-clock plus the oracle-call

@@ -394,13 +394,71 @@ let banzhaf_cmd =
 
 let approx_cmd =
   let samples_arg =
-    Arg.(value & opt int 10000
-         & info [ "s"; "samples" ] ~docv:"N" ~doc:"Number of sampled permutations.")
+    Arg.(value & opt (some int) None
+         & info [ "s"; "samples" ] ~docv:"N"
+             ~doc:"Permutation budget cap (default: the Hoeffding bound for \
+                   $(b,--eps)/$(b,--delta) when $(b,--eps) is given, else \
+                   10000).")
   in
   let seed_arg =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
   in
-  let run opts samples seed n s =
+  let eps_arg =
+    Arg.(value & opt (some float) None
+         & info [ "eps" ] ~docv:"EPS" ~env:(Cmd.Env.info "SHAPMC_EPS")
+             ~doc:"Target additive error: stop as soon as the certified max \
+                   CI half-width is at most $(docv).")
+  in
+  let delta_arg =
+    Arg.(value & opt float 0.05
+         & info [ "delta" ] ~docv:"DELTA" ~env:(Cmd.Env.info "SHAPMC_DELTA")
+             ~doc:"Per-variable CI failure probability (default 0.05).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~env:(Cmd.Env.info "SHAPMC_DEADLINE")
+             ~doc:"Wall-clock budget: stop at the first round boundary past \
+                   $(docv) seconds (a clock is not replayable, so \
+                   deadline-stopped runs are not bit-identical across \
+                   $(b,--jobs)).")
+  in
+  let estimator_arg =
+    Arg.(value & opt string "truncated"
+         & info [ "estimator" ] ~docv:"NAME"
+             ~env:(Cmd.Env.info "SHAPMC_ESTIMATOR")
+             ~doc:"Estimator: $(b,permutation), $(b,truncated) (monotone \
+                   prefix cutoff, default), $(b,antithetic) (reversed-pair \
+                   means) or $(b,stratified) (cyclic position shifts).")
+  in
+  let ci_arg =
+    Arg.(value & opt string "bernstein"
+         & info [ "ci" ] ~docv:"CI"
+             ~doc:"Confidence interval: $(b,hoeffding), $(b,clt) or \
+                   $(b,bernstein) (variance-adaptive, default).")
+  in
+  let interval_arg =
+    Arg.(value & opt int Convergence.default_interval
+         & info [ "interval" ] ~docv:"N"
+             ~doc:"Convergence checkpoint period in samples.")
+  in
+  let convergence_arg =
+    Arg.(value & opt (some string) None
+         & info [ "convergence" ] ~docv:"FILE"
+             ~env:(Cmd.Env.info "SHAPMC_CONVERGENCE")
+             ~doc:"Write one JSONL convergence checkpoint per $(b,--interval) \
+                   samples to $(docv) ($(b,-) for stderr).  Lines carry no \
+                   wall-clock stamps, so equal-seed runs produce identical \
+                   files at any $(b,--jobs).")
+  in
+  let progress_arg =
+    Arg.(value & flag
+         & info [ "progress" ]
+             ~doc:"Print a progress line to stderr at every estimator round \
+                   (samples so far, certified half-width, elapsed time).")
+  in
+  let run opts samples seed eps delta deadline estimator ci interval
+      convergence progress n s =
     wrap (fun () ->
         match parse_formula s with
         | Error m ->
@@ -413,21 +471,77 @@ let approx_cmd =
             | Some nm -> nm
             | None -> Printf.sprintf "x%d" i
           in
+          let estimator =
+            match Sampling.estimator_of_string estimator with
+            | Some e -> e
+            | None -> failwith ("unknown estimator " ^ estimator)
+          in
+          let ci =
+            match Convergence.ci_of_string ci with
+            | Some c -> c
+            | None -> failwith ("unknown ci " ^ ci)
+          in
+          let progress_fn =
+            if progress then
+              Some
+                (fun (p : Sampling.progress) ->
+                  Printf.eprintf
+                    "progress: samples=%d half-width=%s elapsed=%.2fs\n%!"
+                    p.Sampling.pr_samples
+                    (if p.Sampling.pr_half_width = infinity then "inf"
+                     else Printf.sprintf "%.6f" p.Sampling.pr_half_width)
+                    p.Sampling.pr_elapsed)
+            else None
+          in
+          let with_jsonl k =
+            match convergence with
+            | None -> k None
+            | Some "-" -> k (Some stderr)
+            | Some path ->
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> k (Some oc))
+          in
           with_obs opts (fun () ->
+              with_jsonl @@ fun jsonl ->
+              let report =
+                Sampling.shap_estimate ~estimator ~seed ~delta ?eps
+                  ?max_samples:samples ?deadline ~ci ~interval ?jsonl
+                  ?progress:progress_fn ~vars f
+              in
               List.iter
                 (fun e ->
-                   Printf.printf "%-12s %10.6f  (± %.6f at 95%%)\n"
+                   Printf.printf "%-12s %10.6f  (± %s at %g%%)\n"
                      (name e.Sampling.variable) e.Sampling.value
-                     e.Sampling.half_width)
-                (Sampling.shap_sample ~seed ~samples ~vars f)))
+                     (if e.Sampling.half_width = infinity then "inf"
+                      else Printf.sprintf "%.6f" e.Sampling.half_width)
+                     (100.0 *. (1.0 -. delta)))
+                report.Sampling.estimates;
+              Printf.printf "samples: %d\n" report.Sampling.samples_used;
+              Printf.printf "evals: %d\n" report.Sampling.evals;
+              Printf.printf "converged: %b\n" report.Sampling.converged))
   in
   let info =
     Cmd.info "approx"
-      ~doc:"Approximate Shapley values by permutation sampling (Hoeffding CI)."
+      ~doc:"Approximate Shapley values by observable Monte-Carlo estimation."
+      ~man:
+        [ `S Manpage.s_description;
+          `P "Runs one of four permutation-sampling estimators with \
+              streaming per-variable confidence intervals, stopping early \
+              when the certified max half-width reaches $(b,--eps), a \
+              $(b,--deadline) passes, or the $(b,--samples) budget is \
+              spent.  Batches fan out over $(b,--jobs) domains with \
+              per-batch seed substreams; equal seeds give bit-identical \
+              results at any job count (deadline stops excepted).  \
+              Checkpoint telemetry flows to $(b,--convergence) JSONL, \
+              $(b,--trace), $(b,--metrics) (estimator_* series) and \
+              $(b,--progress)." ]
   in
   Cmd.v info
-    Term.(const run $ obs_args $ samples_arg $ seed_arg
-          $ universe_arg $ formula_arg)
+    Term.(const run $ obs_args $ samples_arg $ seed_arg $ eps_arg $ delta_arg
+          $ deadline_arg $ estimator_arg $ ci_arg $ interval_arg
+          $ convergence_arg $ progress_arg $ universe_arg $ formula_arg)
 
 let prob_cmd =
   let theta_arg =

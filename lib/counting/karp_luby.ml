@@ -29,7 +29,7 @@ let random_below st bound =
   in
   draw ()
 
-let run ~seed ~samples ~vars d ~eps =
+let run ?monitor ~seed ~samples ~vars d ~eps =
   if d = [] || List.exists Vset.is_empty d then
     invalid_arg "Karp_luby: constant DNF";
   let universe = Vset.of_list vars in
@@ -67,7 +67,14 @@ let run ~seed ~samples ~vars d ~eps =
       else if Vset.subset clauses.(j) !model then false
       else first (j + 1)
     in
-    if first 0 then incr hits
+    let hit = first 0 in
+    if hit then incr hits;
+    (match monitor with
+     | Some c ->
+       (* the coverage indicator is the bounded observable: E = #F / U *)
+       Convergence.observe c ~player:0 (if hit then 1.0 else 0.0);
+       Convergence.advance c 1
+     | None -> ())
   done;
   {
     value =
@@ -76,11 +83,11 @@ let run ~seed ~samples ~vars d ~eps =
     relative_half_width = eps;
   }
 
-let count ?(seed = 0) ~eps ~delta ~vars d =
+let count ?monitor ?(seed = 0) ~eps ~delta ~vars d =
   let m = List.length d in
   let samples = sample_bound ~clauses:m ~eps ~delta in
-  run ~seed ~samples ~vars d ~eps
+  run ?monitor ~seed ~samples ~vars d ~eps
 
-let count_samples ?(seed = 0) ~samples ~vars d =
+let count_samples ?monitor ?(seed = 0) ~samples ~vars d =
   if samples <= 0 then invalid_arg "Karp_luby.count_samples";
-  run ~seed ~samples ~vars d ~eps:Float.nan
+  run ?monitor ~seed ~samples ~vars d ~eps:Float.nan

@@ -22,14 +22,23 @@ type estimate = {
 (** [count ~seed ~eps ~delta ~vars d] estimates the number of models of
     the positive DNF [d] over the universe [vars] within relative error
     [eps] with probability [1 − delta].
+
+    When [monitor] is given (create it with [~players:1 ~range:1.0] —
+    the observable is the first-satisfied-clause coverage indicator in
+    {0, 1} whose mean is [#F / U]), every sample streams into it and the
+    convergence checkpoints flow to Trace/Scope/Metrics/JSONL exactly as
+    for the Shapley estimators; the caller owns the monitor and calls
+    {!Convergence.finish}.
     @raise Invalid_argument if [d] is empty or has an empty clause, if
     [vars] misses clause variables, or on nonsensical [eps]/[delta]. *)
 val count :
+  ?monitor:Convergence.t ->
   ?seed:int -> eps:float -> delta:float -> vars:int list -> Nf.pdnf -> estimate
 
 (** [count_samples ~seed ~samples ~vars d] runs a fixed number of
-    samples (for convergence studies). *)
+    samples (for convergence studies); [monitor] as in {!count}. *)
 val count_samples :
+  ?monitor:Convergence.t ->
   ?seed:int -> samples:int -> vars:int list -> Nf.pdnf -> estimate
 
 (** [sample_bound ~clauses ~eps ~delta] is the standard

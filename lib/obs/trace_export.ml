@@ -411,6 +411,52 @@ let report ?(dropped = 0) ?(percentiles = false) events =
      List.iter
        (fun (name, (c, t)) -> line "  %-28s %8d %14.3f" name c (ms t))
        rows);
+  (* Estimator convergence: aggregate the [estimator.checkpoint] phase
+     markers emitted by Convergence monitors — last checkpoint wins for
+     samples / half-width, so the row shows where the estimator ended. *)
+  let est_tbl : (string, (string * int * int * float) ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+       if e.Trace.kind = Trace.Phase && e.Trace.name = "estimator.checkpoint"
+       then begin
+         let str key =
+           match List.assoc_opt key e.Trace.attrs with
+           | Some (Trace.Str s) -> s
+           | _ -> "-"
+         and int key =
+           match List.assoc_opt key e.Trace.attrs with
+           | Some (Trace.Int v) -> v
+           | _ -> 0
+         and fl key =
+           match List.assoc_opt key e.Trace.attrs with
+           | Some (Trace.Float v) -> v
+           | _ -> Float.nan
+         in
+         let est = str "estimator" in
+         let row = (str "ci", int "samples", fl "max_half_width") in
+         match Hashtbl.find_opt est_tbl est with
+         | Some r ->
+           let _, cps, _, _ = !r in
+           let ci, samples, hw = row in
+           r := (ci, cps + 1, samples, hw)
+         | None ->
+           let ci, samples, hw = row in
+           Hashtbl.replace est_tbl est (ref (ci, 1, samples, hw))
+       end)
+    events;
+  if Hashtbl.length est_tbl > 0 then begin
+    line "";
+    line "estimator convergence:";
+    line "  %-16s %-10s %12s %10s %16s" "estimator" "ci" "checkpoints"
+      "samples" "half-width";
+    List.iter
+      (fun (est, (ci, cps, samples, hw)) ->
+         line "  %-16s %-10s %12d %10d %16.6f" est ci cps samples hw)
+      (List.sort compare
+         (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) est_tbl []))
+  end;
   line "";
   line "span totals:";
   (match sorted span_tot with

@@ -16,7 +16,7 @@ type entry = {
 type t = { list : entry list; cache : Cache.t option; created : float }
 
 (* Service version reported by /healthz; tracks the PR sequence. *)
-let version = "0.8.0"
+let version = "0.9.0"
 
 let facts_of db =
   let all =
@@ -297,6 +297,143 @@ let shapley_all_route t (req : Http.request) =
                 | Some c -> [ ("next_cursor", J.Str c) ]
                 | None -> []))))
 
+(* ------------------------------------------------------------------ *)
+(* Approximate Shapley: the sampling path for queries (or SLAs) the
+   exact solver cannot serve.  Uncached by design — every request is a
+   fresh estimator run whose convergence checkpoints land in the
+   request's scope, so /v1/debug/requests/:id shows the CI shrinking. *)
+
+(* Server-side clamp on the per-request permutation budget. *)
+let approx_max_samples = 100_000
+
+let approx_defaults = (0.05, 0.05) (* eps, delta *)
+
+let shapley_approx t (req : Http.request) =
+  match Json_codec.parse_body req with
+  | Error resp -> resp
+  | Ok body -> (
+      match
+        ( Json_codec.str_field "query" body,
+          ( Json_codec.opt_float_field "eps" body,
+            Json_codec.opt_float_field "delta" body ),
+          ( Json_codec.opt_int_field "seed" body,
+            Json_codec.opt_int_field "max_samples" body ),
+          ( Json_codec.opt_str_field "estimator" body,
+            Json_codec.opt_str_field "ci" body ) )
+      with
+      | Error resp, _, _, _
+      | _, (Error resp, _), _, _
+      | _, (_, Error resp), _, _
+      | _, _, (Error resp, _), _
+      | _, _, (_, Error resp), _
+      | _, _, _, (Error resp, _)
+      | _, _, _, (_, Error resp) ->
+        resp
+      | ( Ok name,
+          (Ok eps, Ok delta),
+          (Ok seed, Ok max_samples),
+          (Ok est_name, Ok ci_name) ) -> (
+        let d_eps, d_delta = approx_defaults in
+        let eps = Option.value ~default:d_eps eps
+        and delta = Option.value ~default:d_delta delta
+        and seed = Option.value ~default:0 seed in
+        let estimator =
+          match est_name with
+          | None -> Ok Sampling.Truncated
+          | Some s -> (
+              match Sampling.estimator_of_string s with
+              | Some e -> Ok e
+              | None -> Error ("unknown estimator: " ^ s))
+        and ci =
+          match ci_name with
+          | None -> Ok Convergence.Bernstein
+          | Some s -> (
+              match Convergence.ci_of_string s with
+              | Some c -> Ok c
+              | None -> Error ("unknown ci: " ^ s))
+        in
+        match (estimator, ci) with
+        | Error m, _ | _, Error m -> Json_codec.error 400 m
+        | Ok estimator, Ok ci ->
+          if not (eps > 0.0) then Json_codec.error 400 "eps must be positive"
+          else if not (delta > 0.0 && delta < 1.0) then
+            Json_codec.error 400 "delta must lie in (0, 1)"
+          else if
+            match max_samples with Some m -> m < 1 | None -> false
+          then Json_codec.error 400 "max_samples must be at least 1"
+          else
+            with_entry t name @@ fun e ->
+            if Array.length e.facts = 0 then
+              Json_codec.error 400
+                (Printf.sprintf "query %s has no endogenous facts" name)
+            else begin
+              let budget =
+                let requested =
+                  match max_samples with
+                  | Some m -> m
+                  | None -> (
+                      (* the Hoeffding bound, when it fits the clamp *)
+                      match Sampling.samples_for ~eps ~delta with
+                      | m -> m
+                      | exception Invalid_argument _ -> approx_max_samples)
+                in
+                min approx_max_samples requested
+              in
+              let f = Lineage.lineage_formula e.db e.query in
+              let vars =
+                Vset.elements
+                  (Array.fold_left
+                     (fun acc (id, _, _) -> Vset.add id acc)
+                     (Formula.vars f) e.facts)
+              in
+              let report =
+                Obs.call ~oracle:"api.shapley_approx"
+                  ~n:(List.length vars)
+                  ~attrs:[ ("query", Trace.Str e.name) ]
+                  (fun () ->
+                    Obs.with_span "api.approx" (fun () ->
+                        Sampling.shap_estimate ~estimator ~seed ~delta ~eps
+                          ~max_samples:budget ~ci ~vars f))
+              in
+              let by_var =
+                List.fold_left
+                  (fun acc (est : Sampling.estimate) ->
+                    (est.Sampling.variable, est) :: acc)
+                  [] report.Sampling.estimates
+              in
+              let values =
+                Array.to_list e.facts
+                |> List.filter_map (fun (id, rel, tuple) ->
+                       match List.assoc_opt id by_var with
+                       | None -> None
+                       | Some est ->
+                         Some
+                           (J.Obj
+                              [ ("fact", J.Int id);
+                                ("relation", J.Str rel);
+                                ("tuple", Json_codec.tuple tuple);
+                                ("value", J.Float est.Sampling.value);
+                                ( "half_width",
+                                  J.Float est.Sampling.half_width ) ]))
+              in
+              Json_codec.json_response
+                (J.Obj
+                   [ ("query", J.Str name);
+                     ( "estimator",
+                       J.Str (Sampling.estimator_name estimator) );
+                     ("ci", J.Str (Convergence.ci_name ci));
+                     ("eps", J.Float eps);
+                     ("delta", J.Float delta);
+                     ("samples", J.Int report.Sampling.samples_used);
+                     ("evals", J.Int report.Sampling.evals);
+                     ("converged", J.Bool report.Sampling.converged);
+                     ( "max_half_width",
+                       J.Float
+                         (Convergence.max_certified_half_width
+                            report.Sampling.monitor) );
+                     ("values", J.List values) ])
+            end))
+
 let metrics ?telemetry () _req =
   (* Refresh the rolling SLO gauges at scrape time: windows rotate
      lazily, so the exposition reflects "now", not the last request. *)
@@ -355,6 +492,7 @@ let routes ?telemetry t =
     Router.route Http.GET "/v1/facts" (facts t);
     Router.route Http.POST "/v1/shapley" (shapley t);
     Router.route Http.POST "/v1/shapley/all" (shapley_all_route t);
+    Router.route Http.POST "/v1/shapley/approx" (shapley_approx t);
     Router.route Http.GET "/metrics" (metrics ?telemetry ()) ]
   @
   match telemetry with

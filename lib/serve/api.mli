@@ -11,6 +11,13 @@
     - [GET /v1/facts?query=Q&cursor=&limit=] — endogenous facts, paged
     - [POST /v1/shapley] [{query, fact}] — one fact's exact Shapley value
     - [POST /v1/shapley/all] [{query, cursor?, limit?}] — all facts, paged
+    - [POST /v1/shapley/approx]
+      [{query, eps?, delta?, estimator?, ci?, seed?, max_samples?}] —
+      sampled Shapley values for every fact with per-fact CI half-widths
+      and the samples spent; the estimator early-stops at ε and its
+      convergence checkpoints land in the request profile.  Uncached:
+      each call is a fresh run (the sample budget is clamped to
+      {!approx_max_samples})
     - [GET /metrics] — OpenMetrics exposition of {!Metrics.default}
       (rolling SLO gauges refreshed at scrape time when a
       {!Telemetry.t} is attached)
@@ -77,3 +84,6 @@ val fact_of_cursor : string -> int option
 val default_limit : int
 
 val max_limit : int
+
+(** Per-request clamp on the [/v1/shapley/approx] permutation budget. *)
+val approx_max_samples : int

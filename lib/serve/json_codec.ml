@@ -76,3 +76,12 @@ let opt_int_field name json =
       | Some i -> Ok (Some i)
       | None ->
         Error (error 400 (Printf.sprintf "field %S must be an integer" name)))
+
+let opt_float_field name json =
+  match J.member name json with
+  | None | Some J.Null -> Ok None
+  | Some v -> (
+      match J.to_float v with
+      | Some f -> Ok (Some f)
+      | None ->
+        Error (error 400 (Printf.sprintf "field %S must be a number" name)))

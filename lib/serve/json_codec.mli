@@ -34,3 +34,7 @@ val opt_str_field :
 
 val opt_int_field :
   string -> Tiny_json.t -> (int option, Router.response) result
+
+val opt_float_field :
+  string -> Tiny_json.t -> (float option, Router.response) result
+(** Absent and [null] are [None]; any JSON number is accepted. *)

@@ -25,4 +25,5 @@ let () =
       ("trace", Test_trace.suite);
       ("differential", Test_differential.suite);
       ("cache", Test_cache.suite);
+      ("approx", Test_approx.suite);
       ("serve", Test_serve.suite) ]

@@ -625,6 +625,88 @@ let api_shapley_errors () =
   Alcotest.(check int) "wrong field type" 400
     (status (post routes "/v1/shapley" {|{"query":"demo","fact":"one"}|}))
 
+let float_exn j = Option.get (J.to_float j)
+let bool_exn j = Option.get (J.to_bool j)
+
+let api_shapley_approx () =
+  let routes = Api.routes (demo_api ()) in
+  let body = {|{"query":"demo","eps":0.1,"delta":0.1,"seed":3}|} in
+  let r = post routes "/v1/shapley/approx" body in
+  Alcotest.(check int) "approx 200" 200 (status r);
+  let j = json_of r in
+  Alcotest.(check string) "default estimator" "truncated"
+    (str_exn (member_exn "estimator" j));
+  Alcotest.(check string) "default ci" "bernstein"
+    (str_exn (member_exn "ci" j));
+  let samples = int_exn (member_exn "samples" j) in
+  Alcotest.(check bool) "spent samples" true (samples > 0);
+  Alcotest.(check bool) "within the Hoeffding budget" true
+    (samples <= Sampling.samples_for ~eps:0.1 ~delta:0.1);
+  Alcotest.(check bool) "converged at eps=0.1" true
+    (bool_exn (member_exn "converged" j));
+  Alcotest.(check bool) "certified width at most eps" true
+    (float_exn (member_exn "max_half_width" j) <= 0.1);
+  let values = list_exn (member_exn "values" j) in
+  Alcotest.(check int) "one entry per fact" 4 (List.length values);
+  (* the demo query's exact Shapley value is 1/4 for every fact *)
+  List.iter
+    (fun v ->
+      let value = float_exn (member_exn "value" v)
+      and hw = float_exn (member_exn "half_width" v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fact %d in CI" (int_exn (member_exn "fact" v)))
+        true
+        (Float.abs (value -. 0.25) <= hw);
+      ignore (str_exn (member_exn "relation" v)))
+    values;
+  (* equal request, equal answer: the estimator replays byte-identically *)
+  let r' = post routes "/v1/shapley/approx" body in
+  Alcotest.(check string) "deterministic body" r.Router.body r'.Router.body;
+  (* a different seed must change the sampled answer *)
+  let rs =
+    post routes "/v1/shapley/approx"
+      {|{"query":"demo","eps":0.1,"delta":0.1,"seed":4}|}
+  in
+  Alcotest.(check bool) "seed varies the run" true
+    (rs.Router.body <> r.Router.body)
+
+let api_shapley_approx_scoped () =
+  (* the convergence checkpoints of an approx run land in the request
+     scope, hence in the profiles served at /v1/debug/requests/:id *)
+  let routes = Api.routes (demo_api ()) in
+  let sc = Scope.create ~id:"approx-test" () in
+  let r =
+    Scope.with_scope sc (fun () ->
+        post routes "/v1/shapley/approx"
+          {|{"query":"demo","eps":0.1,"delta":0.1,"interval":512}|})
+  in
+  Alcotest.(check int) "approx 200" 200 (status r);
+  let checkpoints =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.kind = Trace.Phase && e.name = "estimator.checkpoint")
+      (Scope.events sc)
+  in
+  Alcotest.(check bool) "scope saw checkpoint events" true
+    (List.length checkpoints >= 1)
+
+let api_shapley_approx_errors () =
+  let routes = Api.routes (demo_api ()) in
+  let bad body = status (post routes "/v1/shapley/approx" body) in
+  Alcotest.(check int) "unknown estimator" 400
+    (bad {|{"query":"demo","estimator":"bogus"}|});
+  Alcotest.(check int) "unknown ci" 400 (bad {|{"query":"demo","ci":"bogus"}|});
+  Alcotest.(check int) "eps 0" 400 (bad {|{"query":"demo","eps":0}|});
+  Alcotest.(check int) "delta 2" 400 (bad {|{"query":"demo","delta":2}|});
+  Alcotest.(check int) "max_samples 0" 400
+    (bad {|{"query":"demo","max_samples":0}|});
+  Alcotest.(check int) "eps of wrong type" 400
+    (bad {|{"query":"demo","eps":"small"}|});
+  Alcotest.(check int) "unknown query" 404 (bad {|{"query":"zzz"}|});
+  let routes = Api.routes (empty_api ()) in
+  Alcotest.(check int) "zero players is 400" 400
+    (status (post routes "/v1/shapley/approx" {|{"query":"empty"}|}))
+
 let cursor_codec () =
   List.iter
     (fun id ->
@@ -1944,6 +2026,10 @@ let suite =
     t "api: golden last-page and empty-query" api_golden_last_page_and_empty;
     t "api: shapley bit-identical to the solver" api_shapley_bit_identical;
     t "api: shapley error paths" api_shapley_errors;
+    t "api: shapley/approx values, CIs and determinism" api_shapley_approx;
+    t "api: shapley/approx checkpoints reach the request scope"
+      api_shapley_approx_scoped;
+    t "api: shapley/approx error paths" api_shapley_approx_errors;
     t "api: cursor codec" cursor_codec;
     facts_pagination_property;
     shapley_all_pagination_property;
